@@ -1,0 +1,257 @@
+// Command netco-bench regenerates the paper's evaluation (§V): Table I
+// and Figures 4–8, printing measured values side by side with the
+// published ones.
+//
+// Usage:
+//
+//	netco-bench [-table1] [-fig4] [-fig5] [-fig6] [-fig7] [-fig8] [-all]
+//	            [-full] [-quick] [-seed n]
+//
+// Without selection flags, -all is assumed. -full uses the paper's
+// methodology (10 s runs, 10 per direction); -quick uses smoke-test
+// durations.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"netco"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netco-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table1 = flag.Bool("table1", false, "reproduce Table I")
+		fig4   = flag.Bool("fig4", false, "reproduce Fig. 4 (TCP throughput)")
+		fig5   = flag.Bool("fig5", false, "reproduce Fig. 5 (UDP throughput)")
+		fig6   = flag.Bool("fig6", false, "reproduce Fig. 6 (throughput vs loss, Central3)")
+		fig7   = flag.Bool("fig7", false, "reproduce Fig. 7 (ping RTT)")
+		fig8   = flag.Bool("fig8", false, "reproduce Fig. 8 (jitter vs packet size)")
+		arch   = flag.Bool("arch", false, "extension: compare-placement architectures (Central3/Inline3/POX3)")
+		ksweep = flag.Bool("ksweep", false, "extension: redundancy sweep k=1..7 (Central)")
+		dos    = flag.Bool("dos", false, "extension: DoS attacks vs the §IV defences")
+		all    = flag.Bool("all", false, "reproduce everything")
+		full   = flag.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
+		quick  = flag.Bool("quick", false, "smoke-test durations")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		serial = flag.Bool("serial", false, "run scenarios sequentially (default: one worker per core)")
+		csvDir = flag.String("csv", "", "also write each figure's data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *arch || *ksweep || *dos) {
+		*all = true
+	}
+
+	p := netco.DefaultParams()
+	if *full {
+		p = p.PaperFaithful()
+	}
+	if *quick {
+		p = p.Quick()
+	}
+	p.Seed = *seed
+
+	workers := runtime.GOMAXPROCS(0)
+	if *serial {
+		workers = 1
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	if *all || *fig4 {
+		fmt.Println("== Fig. 4: TCP throughput ==")
+		results := parallelMap(workers, netco.AllScenarios, func(s netco.Scenario) netco.TCPResult {
+			return netco.RunTCP(p, s)
+		})
+		rows := [][]string{{"scenario", "mbps", "fast_retransmits", "timeouts", "dup_acks"}}
+		for _, r := range results {
+			fmt.Printf("  %-10s %7.1f Mbit/s   (fast-rtx %d, timeouts %d, dup-acks %d)\n",
+				r.Scenario, r.Mbps, r.FastRetransmits, r.Timeouts, r.DupAcks)
+			rows = append(rows, []string{r.Scenario.String(), f1(r.Mbps),
+				strconv.FormatUint(r.FastRetransmits, 10), strconv.FormatUint(r.Timeouts, 10),
+				strconv.FormatUint(r.DupAcks, 10)})
+		}
+		if err := writeCSV(*csvDir, "fig4.csv", rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *all || *fig5 {
+		fmt.Println("== Fig. 5: max UDP throughput at <0.5% loss ==")
+		results := parallelMap(workers, netco.AllScenarios, func(s netco.Scenario) netco.UDPMaxResult {
+			return netco.RunUDPMax(p, s)
+		})
+		rows := [][]string{{"scenario", "mbps", "loss"}}
+		for _, r := range results {
+			fmt.Printf("  %-10s %7.1f Mbit/s   (loss %.3f%%)\n", r.Scenario, r.Mbps, r.Loss*100)
+			rows = append(rows, []string{r.Scenario.String(), f1(r.Mbps), fmt.Sprintf("%.5f", r.Loss)})
+		}
+		if err := writeCSV(*csvDir, "fig5.csv", rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *all || *fig6 {
+		fmt.Println("== Fig. 6: throughput vs loss rate (Central3) ==")
+		fmt.Printf("  %10s %12s %8s %10s\n", "offered", "achieved", "loss", "jitter")
+		rows := [][]string{{"offered_mbps", "achieved_mbps", "loss", "jitter_us"}}
+		for _, pt := range netco.RunFig6(p, nil) {
+			fmt.Printf("  %7.0f Mb %9.1f Mb %7.3f%% %10v\n",
+				pt.OfferedMbps, pt.AchievedMbps, pt.Loss*100, pt.Jitter)
+			rows = append(rows, []string{f1(pt.OfferedMbps), f1(pt.AchievedMbps),
+				fmt.Sprintf("%.5f", pt.Loss), f1(float64(pt.Jitter.Microseconds()))})
+		}
+		if err := writeCSV(*csvDir, "fig6.csv", rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *all || *fig7 {
+		fmt.Println("== Fig. 7: ping round-trip time ==")
+		results := parallelMap(workers, netco.TableScenarios, func(s netco.Scenario) netco.PingScenarioResult {
+			return netco.RunPing(p, s)
+		})
+		rows := [][]string{{"scenario", "avg_rtt_ms", "min_rtt_ms", "max_rtt_ms"}}
+		for _, r := range results {
+			fmt.Printf("  %-10s avg %8.3f ms  (min %.3f, max %.3f; %d/%d replies)\n",
+				r.Scenario, ms(r.AvgRTT), ms(r.MinRTT), ms(r.MaxRTT), r.Received, r.Sent)
+			rows = append(rows, []string{r.Scenario.String(),
+				fmt.Sprintf("%.4f", ms(r.AvgRTT)), fmt.Sprintf("%.4f", ms(r.MinRTT)), fmt.Sprintf("%.4f", ms(r.MaxRTT))})
+		}
+		if err := writeCSV(*csvDir, "fig7.csv", rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *all || *fig8 {
+		fmt.Println("== Fig. 8: jitter for varying packet sizes ==")
+		series8 := parallelMap(workers, netco.TableScenarios, func(s netco.Scenario) []netco.JitterPoint {
+			return netco.RunJitter(p, s, nil)
+		})
+		rows := [][]string{{"scenario", "payload_bytes", "jitter_us"}}
+		for _, series := range series8 {
+			fmt.Printf("  %-10s", series[0].Scenario)
+			for _, pt := range series {
+				fmt.Printf("  %4dB:%7v", pt.PayloadSize, pt.Jitter)
+				rows = append(rows, []string{pt.Scenario.String(),
+					strconv.Itoa(pt.PayloadSize), f1(float64(pt.Jitter.Microseconds()))})
+			}
+			fmt.Println()
+		}
+		if err := writeCSV(*csvDir, "fig8.csv", rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *all || *arch {
+		fmt.Println("== Extension: compare placement at k=3 (§IX alternative architectures) ==")
+		for _, r := range netco.RunArchitectureComparison(p) {
+			fmt.Printf("  %-10s tcp %6.1f Mbit/s   udp %6.1f Mbit/s   rtt %.3f ms\n",
+				r.Scenario, r.TCPMbps, r.UDPMbps, ms(r.AvgRTT))
+		}
+		fmt.Println()
+	}
+	if *all || *ksweep {
+		fmt.Println("== Extension: redundancy sweep (Central, k = routers in parallel) ==")
+		fmt.Printf("  %2s %10s %12s %12s %10s\n", "k", "tolerates", "tcp Mbit/s", "udp Mbit/s", "rtt ms")
+		for _, pt := range netco.RunKSweep(p, nil) {
+			fmt.Printf("  %2d %10d %12.1f %12.1f %10.3f\n",
+				pt.K, pt.Tolerated, pt.TCPMbps, pt.UDPMbps, ms(pt.AvgRTT))
+		}
+		fmt.Println()
+	}
+	if *all || *dos {
+		fmt.Println("== Extension: DoS attacks vs the §IV defences (Central3, 100 Mbit/s benign UDP) ==")
+		r := netco.RunDoS(p)
+		fmt.Printf("  no attacker:                         %6.1f Mbit/s\n", r.BaselineMbps)
+		fmt.Printf("  replaying router, port blocking on:  %6.1f Mbit/s (%d blocks advised)\n", r.ReplayMbps, r.ReplayBlocks)
+		fmt.Printf("  60 kpps forged flood, isolated bufs: %6.1f Mbit/s (%d flood copies quota-dropped)\n", r.FloodIsolatedMbps, r.QuotaDrops)
+		fmt.Printf("  60 kpps forged flood, shared buffer: %6.1f Mbit/s\n", r.FloodSharedMbps)
+		fmt.Println()
+	}
+	if *all || *table1 {
+		fmt.Println("== Table I: average measurement results (measured vs paper) ==")
+		rows := parallelMap(workers, netco.TableScenarios, func(s netco.Scenario) netco.Table1Row {
+			return netco.Table1Row{
+				Scenario: s,
+				TCPMbps:  netco.RunTCP(p, s).Mbps,
+				UDPMbps:  netco.RunUDPMax(p, s).Mbps,
+				AvgRTT:   netco.RunPing(p, s).AvgRTT,
+			}
+		})
+		fmt.Print(netco.FormatTable1(rows))
+		csvRows := [][]string{{"scenario", "tcp_mbps", "udp_mbps", "rtt_ms"}}
+		for _, r := range rows {
+			csvRows = append(csvRows, []string{r.Scenario.String(), f1(r.TCPMbps), f1(r.UDPMbps),
+				fmt.Sprintf("%.4f", ms(r.AvgRTT))})
+		}
+		if err := writeCSV(*csvDir, "table1.csv", csvRows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func ms(d time.Duration) float64 { return d.Seconds() * 1e3 }
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// writeCSV writes rows to dir/name; a no-op when no -csv directory was
+// given.
+func writeCSV(dir, name string, rows [][]string) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// parallelMap runs fn over items with bounded concurrency, preserving
+// order. Every simulation is self-contained and deterministic, so
+// parallelism changes wall time only, never results.
+func parallelMap[S, R any](workers int, items []S, fn func(S) R) []R {
+	out := make([]R, len(items))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, item := range items {
+		wg.Add(1)
+		go func(i int, item S) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = fn(item)
+		}(i, item)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,46 @@
+// Command netco-virtual demonstrates the virtualized NetCo of §VII:
+// instead of buying k physical routers per protected hop, flows are split
+// over k VLAN-labelled disjoint paths through existing heterogeneous
+// devices and recombined by an inband compare at the egress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netco"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netco-virtual:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	p := netco.DefaultParams()
+	p.Seed = *seed
+	r := netco.RunVirtual(p)
+
+	fmt.Println("Virtualized NetCo (paper §VII): path redundancy instead of hardware redundancy")
+	fmt.Println()
+	fmt.Println("-- prevention: 3 disjoint paths, one device rewrites headers --")
+	fmt.Printf("  datagrams sent/delivered:     %d / %d\n", r.PreventSent, r.PreventDelivered)
+	fmt.Printf("  tampered copies suppressed:   %d\n", r.PreventSuppressed)
+	fmt.Println()
+	fmt.Println("-- detection: 2 disjoint paths, one device drops traffic --")
+	fmt.Printf("  datagrams sent/delivered:     %d / %d (detect-only: no availability cost)\n",
+		r.DetectSent, r.DetectDelivered)
+	fmt.Printf("  detection alarms:             %d (first at t=%v)\n", r.DetectAlarms, r.FirstDetectionAt)
+	fmt.Println()
+	fmt.Println("-- cost: inband compare + k× path bandwidth, zero extra hardware --")
+	fmt.Printf("  bare path goodput:            %.1f Mbit/s\n", r.BaselineMbps)
+	fmt.Printf("  3-path combined goodput:      %.1f Mbit/s\n", r.CombinedMbps)
+	fmt.Printf("  bandwidth amplification:      %.0f×\n", r.BandwidthCost)
+	return nil
+}

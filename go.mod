@@ -1,0 +1,3 @@
+module netco
+
+go 1.22

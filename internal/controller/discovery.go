@@ -1,0 +1,173 @@
+package controller
+
+import (
+	"encoding/binary"
+	"time"
+
+	"netco/internal/openflow"
+	"netco/internal/packet"
+	"netco/internal/sim"
+	"netco/internal/switching"
+)
+
+// EtherTypeLLDP tags the discovery probes (the real LLDP ethertype; the
+// payload is this package's compact format, not IEEE TLVs).
+const EtherTypeLLDP uint16 = 0x88cc
+
+const lldpMagic uint32 = 0x4e43_4f44 // "NCOD"
+
+// lldpProbe is the discovery payload: which switch and port emitted it.
+type lldpProbe struct {
+	Dpid uint64
+	Port uint16
+}
+
+func marshalProbe(p lldpProbe) []byte {
+	b := make([]byte, 14)
+	binary.BigEndian.PutUint32(b[0:4], lldpMagic)
+	binary.BigEndian.PutUint64(b[4:12], p.Dpid)
+	binary.BigEndian.PutUint16(b[12:14], p.Port)
+	return b
+}
+
+func parseProbe(b []byte) (lldpProbe, bool) {
+	if len(b) < 14 || binary.BigEndian.Uint32(b[0:4]) != lldpMagic {
+		return lldpProbe{}, false
+	}
+	return lldpProbe{
+		Dpid: binary.BigEndian.Uint64(b[4:12]),
+		Port: binary.BigEndian.Uint16(b[12:14]),
+	}, true
+}
+
+// PortID identifies one switch port fabric-wide.
+type PortID struct {
+	Dpid uint64
+	Port uint16
+}
+
+// Discovery learns the inter-switch topology by emitting LLDP-style
+// probes out of every port of every connected switch and observing where
+// they arrive — the discovery half of every real SDN controller
+// (OpenFlow has no topology primitive of its own). Forwarding
+// applications layer on top via the Links/IsEdgePort queries.
+type Discovery struct {
+	// Interval between probe rounds (default 500 ms).
+	Interval time.Duration
+	// OnLink, when non-nil, fires when a link is first learned.
+	OnLink func(a, b PortID)
+
+	sched   *sim.Scheduler
+	links   map[PortID]PortID
+	conns   map[uint64]*switching.Conn
+	ports   map[uint64][]uint16
+	stopped bool
+}
+
+// NewDiscovery creates a topology learner.
+func NewDiscovery(sched *sim.Scheduler) *Discovery {
+	return &Discovery{
+		Interval: 500 * time.Millisecond,
+		sched:    sched,
+		links:    make(map[PortID]PortID),
+		conns:    make(map[uint64]*switching.Conn),
+		ports:    make(map[uint64][]uint16),
+	}
+}
+
+// Close stops future probe rounds.
+func (d *Discovery) Close() { d.stopped = true }
+
+// Link returns the peer of a switch port, if one was discovered.
+func (d *Discovery) Link(p PortID) (PortID, bool) {
+	peer, ok := d.links[p]
+	return peer, ok
+}
+
+// IsEdgePort reports whether no inter-switch link was discovered on the
+// port — i.e. it (presumably) faces a host.
+func (d *Discovery) IsEdgePort(p PortID) bool {
+	_, inter := d.links[p]
+	return !inter
+}
+
+// Dpids returns the connected datapaths.
+func (d *Discovery) Dpids() []uint64 {
+	out := make([]uint64, 0, len(d.conns))
+	for dpid := range d.conns {
+		out = append(out, dpid)
+	}
+	return out
+}
+
+// Ports returns the known port list of a datapath.
+func (d *Discovery) Ports(dpid uint64) []uint16 { return d.ports[dpid] }
+
+// Conn returns the control connection for a datapath.
+func (d *Discovery) Conn(dpid uint64) *switching.Conn { return d.conns[dpid] }
+
+// Neighbors returns, for each port of dpid with a discovered link, the
+// peer datapath (port → peer dpid).
+func (d *Discovery) Neighbors(dpid uint64) map[uint16]uint64 {
+	out := make(map[uint16]uint64)
+	for _, port := range d.ports[dpid] {
+		if peer, ok := d.links[PortID{Dpid: dpid, Port: port}]; ok {
+			out[port] = peer.Dpid
+		}
+	}
+	return out
+}
+
+// Register begins probing a newly connected switch. Forwarding wrappers
+// call it from SwitchConnected.
+func (d *Discovery) Register(conn *switching.Conn, features openflow.FeaturesReply) {
+	dpid := features.DatapathID
+	d.conns[dpid] = conn
+	d.ports[dpid] = nil
+	for _, p := range features.Ports {
+		d.ports[dpid] = append(d.ports[dpid], p.PortNo)
+	}
+	d.probe(dpid)
+}
+
+func (d *Discovery) probe(dpid uint64) {
+	if d.stopped {
+		return
+	}
+	conn := d.conns[dpid]
+	for _, port := range d.ports[dpid] {
+		frame := &packet.Packet{
+			Eth: packet.Ethernet{
+				Dst:       packet.MAC{0x01, 0x80, 0xc2, 0, 0, 0x0e}, // LLDP multicast
+				Src:       packet.HostMAC(uint32(dpid)),
+				EtherType: EtherTypeLLDP,
+			},
+			Payload: marshalProbe(lldpProbe{Dpid: dpid, Port: port}),
+		}
+		conn.PacketOut(port, frame.Marshal())
+	}
+	d.sched.After(d.Interval, func() { d.probe(dpid) })
+}
+
+// HandlePacketIn consumes a probe arrival. It reports whether the message
+// was a discovery frame (and therefore fully handled).
+func (d *Discovery) HandlePacketIn(conn *switching.Conn, pin openflow.PacketIn) bool {
+	frame, err := packet.Unmarshal(pin.Data)
+	if err != nil || frame.Eth.EtherType != EtherTypeLLDP {
+		return false
+	}
+	probe, ok := parseProbe(frame.Payload)
+	if !ok {
+		return true // malformed discovery frame: swallow it
+	}
+	from := PortID{Dpid: probe.Dpid, Port: probe.Port}
+	to := PortID{Dpid: conn.DatapathID(), Port: pin.InPort}
+	if _, known := d.links[from]; !known {
+		d.links[from] = to
+		d.links[to] = from
+		if d.OnLink != nil {
+			d.OnLink(from, to)
+		}
+	}
+	return true
+}

@@ -1,0 +1,206 @@
+package controller
+
+import (
+	"sort"
+
+	"netco/internal/openflow"
+	"netco/internal/packet"
+	"netco/internal/sim"
+	"netco/internal/switching"
+)
+
+// L2Routing is a topology-aware forwarding application (the POX
+// l2_multi / ONOS-style equivalent): Discovery learns the switch graph,
+// host locations are learned from packet-ins on edge ports, and flows
+// are routed over shortest paths computed on the discovered graph, with
+// destination-MAC rules installed along the whole path. Unknown
+// destinations are delivered by a controller-mediated "flood" to every
+// edge port of the fabric, which is loop-safe on arbitrary topologies
+// (no data-plane broadcast ever enters the switch graph).
+type L2Routing struct {
+	// Priority of installed path rules.
+	Priority uint16
+
+	sched     *sim.Scheduler
+	discovery *Discovery
+	hosts     map[packet.MAC]PortID
+	routed    map[routeKey]bool
+
+	// PacketIns counts data packet-ins; PathsInstalled full path
+	// installations; Floods controller-mediated deliveries.
+	PacketIns      uint64
+	PathsInstalled uint64
+	Floods         uint64
+}
+
+type routeKey struct {
+	dst  packet.MAC
+	from uint64
+}
+
+var _ switching.Controller = (*L2Routing)(nil)
+
+// NewL2Routing creates the routing application with its own Discovery.
+func NewL2Routing(sched *sim.Scheduler) *L2Routing {
+	return &L2Routing{
+		Priority:  50,
+		sched:     sched,
+		discovery: NewDiscovery(sched),
+		hosts:     make(map[packet.MAC]PortID),
+		routed:    make(map[routeKey]bool),
+	}
+}
+
+// Discovery exposes the topology learner (for queries and tuning).
+func (r *L2Routing) Discovery() *Discovery { return r.discovery }
+
+// Close stops discovery probing.
+func (r *L2Routing) Close() { r.discovery.Close() }
+
+// HostLocation returns where a MAC was last seen, if known.
+func (r *L2Routing) HostLocation(mac packet.MAC) (PortID, bool) {
+	loc, ok := r.hosts[mac]
+	return loc, ok
+}
+
+// SwitchConnected implements switching.Controller.
+func (r *L2Routing) SwitchConnected(conn *switching.Conn, features openflow.FeaturesReply) {
+	r.discovery.Register(conn, features)
+}
+
+// Handle implements switching.Controller.
+func (r *L2Routing) Handle(conn *switching.Conn, msg openflow.Message, xid uint32) {
+	pin, ok := msg.(openflow.PacketIn)
+	if !ok {
+		return
+	}
+	if r.discovery.HandlePacketIn(conn, pin) {
+		return
+	}
+	frame, err := packet.Unmarshal(pin.Data)
+	if err != nil {
+		return
+	}
+	r.PacketIns++
+
+	here := PortID{Dpid: conn.DatapathID(), Port: pin.InPort}
+	// Learn the source host, but only on edge ports: a MAC seen on an
+	// inter-switch port is transit traffic, not a location.
+	if !frame.Eth.Src.IsMulticast() && r.discovery.IsEdgePort(here) {
+		r.hosts[frame.Eth.Src] = here
+	}
+
+	dst := frame.Eth.Dst
+	loc, known := r.hosts[dst]
+	if !known || dst.IsMulticast() {
+		r.flood(here, pin.Data)
+		return
+	}
+	if r.installPath(conn.DatapathID(), dst, loc) {
+		r.PathsInstalled++
+	}
+	// Deliver the triggering packet straight at the destination edge.
+	r.discovery.Conn(loc.Dpid).PacketOut(loc.Port, pin.Data)
+}
+
+// flood delivers the frame to every edge port in the fabric except the
+// ingress — a loop-safe broadcast that never transits the switch graph.
+func (r *L2Routing) flood(from PortID, data []byte) {
+	r.Floods++
+	dpids := r.discovery.Dpids()
+	sort.Slice(dpids, func(i, j int) bool { return dpids[i] < dpids[j] })
+	for _, dpid := range dpids {
+		conn := r.discovery.Conn(dpid)
+		for _, port := range r.discovery.Ports(dpid) {
+			p := PortID{Dpid: dpid, Port: port}
+			if p == from || !r.discovery.IsEdgePort(p) {
+				continue
+			}
+			conn.PacketOut(port, data)
+		}
+	}
+}
+
+// installPath computes the shortest path from switch `from` to the
+// destination's edge switch and installs dst-MAC rules along it. It
+// reports whether new rules were installed.
+func (r *L2Routing) installPath(from uint64, dst packet.MAC, loc PortID) bool {
+	key := routeKey{dst: dst, from: from}
+	if r.routed[key] {
+		return false
+	}
+	hops, ok := r.shortestPath(from, loc.Dpid)
+	if !ok {
+		return false
+	}
+	for _, hop := range hops {
+		r.discovery.Conn(hop.Dpid).InstallFlow(openflow.FlowMod{
+			Match:    openflow.MatchAll().WithDlDst(dst),
+			Priority: r.Priority,
+			Actions:  []openflow.Action{openflow.Output(hop.Port)},
+		})
+	}
+	// Final hop: the destination switch's edge port.
+	r.discovery.Conn(loc.Dpid).InstallFlow(openflow.FlowMod{
+		Match:    openflow.MatchAll().WithDlDst(dst),
+		Priority: r.Priority,
+		Actions:  []openflow.Action{openflow.Output(loc.Port)},
+	})
+	r.routed[key] = true
+	return true
+}
+
+// shortestPath runs BFS over the discovered graph and returns, for each
+// switch along the path (excluding the destination switch), the egress
+// port toward the next hop.
+func (r *L2Routing) shortestPath(from, to uint64) ([]PortID, bool) {
+	if from == to {
+		return nil, true
+	}
+	type step struct {
+		dpid    uint64
+		prev    uint64
+		viaPort uint16 // egress port on prev toward dpid
+	}
+	visited := map[uint64]step{from: {dpid: from}}
+	queue := []uint64{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			break
+		}
+		// Deterministic expansion order.
+		type edge struct {
+			port uint16
+			peer uint64
+		}
+		var edges []edge
+		for port, peer := range r.discovery.Neighbors(cur) {
+			edges = append(edges, edge{port: port, peer: peer})
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].port < edges[j].port })
+		for _, e := range edges {
+			if _, seen := visited[e.peer]; seen {
+				continue
+			}
+			visited[e.peer] = step{dpid: e.peer, prev: cur, viaPort: e.port}
+			queue = append(queue, e.peer)
+		}
+	}
+	if _, ok := visited[to]; !ok {
+		return nil, false
+	}
+	// Walk back, collecting (switch, egress port) pairs.
+	var hops []PortID
+	for cur := to; cur != from; {
+		st := visited[cur]
+		hops = append(hops, PortID{Dpid: st.prev, Port: st.viaPort})
+		cur = st.prev
+	}
+	// Reverse into path order.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return hops, true
+}

@@ -1,0 +1,95 @@
+// Package controller provides SDN control-plane applications: a MAC
+// learning switch, a static MAC-destination router (the forwarding scheme
+// the prototype uses, §VI: "routing based on MAC destination addresses"),
+// and a controller-resident compare application reproducing the paper's
+// POX3 baseline.
+package controller
+
+import (
+	"time"
+
+	"netco/internal/openflow"
+	"netco/internal/packet"
+	"netco/internal/switching"
+)
+
+// LearningSwitch is a classic L2 learning-switch application: it learns
+// source MAC → ingress port bindings from PacketIn events, installs exact
+// destination-MAC flow rules once both ends are known, and floods unknown
+// destinations.
+type LearningSwitch struct {
+	// IdleTimeout for installed flows; zero installs permanent rules.
+	IdleTimeout time.Duration
+	// Priority of installed rules.
+	Priority uint16
+
+	tables map[uint64]map[packet.MAC]uint16 // datapath -> MAC -> port
+
+	// PacketIns counts packets handled on the controller.
+	PacketIns uint64
+}
+
+var _ switching.Controller = (*LearningSwitch)(nil)
+
+// NewLearningSwitch returns a learning switch installing rules at the
+// given priority.
+func NewLearningSwitch() *LearningSwitch {
+	return &LearningSwitch{Priority: 10, tables: make(map[uint64]map[packet.MAC]uint16)}
+}
+
+// SwitchConnected implements switching.Controller.
+func (ls *LearningSwitch) SwitchConnected(conn *switching.Conn, features openflow.FeaturesReply) {
+	ls.tables[features.DatapathID] = make(map[packet.MAC]uint16)
+}
+
+// Handle implements switching.Controller.
+func (ls *LearningSwitch) Handle(conn *switching.Conn, msg openflow.Message, xid uint32) {
+	pin, ok := msg.(openflow.PacketIn)
+	if !ok {
+		return
+	}
+	ls.PacketIns++
+	pkt, err := packet.Unmarshal(pin.Data)
+	if err != nil {
+		return
+	}
+	table := ls.tables[conn.DatapathID()]
+	if table == nil {
+		table = make(map[packet.MAC]uint16)
+		ls.tables[conn.DatapathID()] = table
+	}
+	if !pkt.Eth.Src.IsMulticast() {
+		table[pkt.Eth.Src] = pin.InPort
+	}
+
+	outPort, known := table[pkt.Eth.Dst]
+	if !known || pkt.Eth.Dst.IsMulticast() {
+		// Flood, and do not install a rule: we may learn a better port.
+		conn.Send(openflow.PacketOut{
+			BufferID: openflow.NoBuffer,
+			InPort:   pin.InPort,
+			Actions:  []openflow.Action{openflow.Output(openflow.PortFlood)},
+			Data:     pin.Data,
+		})
+		return
+	}
+
+	conn.InstallFlow(openflow.FlowMod{
+		Match:       openflow.MatchAll().WithDlDst(pkt.Eth.Dst),
+		Priority:    ls.Priority,
+		IdleTimeout: uint16(ls.IdleTimeout / time.Second),
+		Actions:     []openflow.Action{openflow.Output(outPort)},
+	})
+	// Forward the triggering packet along the new rule's path.
+	conn.PacketOut(outPort, pin.Data)
+}
+
+// KnownPorts returns the learned MAC table for a datapath (for tests and
+// diagnostics).
+func (ls *LearningSwitch) KnownPorts(datapathID uint64) map[packet.MAC]uint16 {
+	out := make(map[packet.MAC]uint16, len(ls.tables[datapathID]))
+	for mac, port := range ls.tables[datapathID] {
+		out[mac] = port
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package controller
+
+import (
+	"time"
+
+	"netco/internal/openflow"
+	"netco/internal/sim"
+	"netco/internal/switching"
+)
+
+// Monitor is a control-plane application that periodically polls flow and
+// port statistics from every connected switch — the automated version of
+// the screening the §VI case study performs by hand ("monitoring the flow
+// table counters of all switches"). It composes with a forwarding app via
+// Apps.
+type Monitor struct {
+	// Interval between polls (default 500 ms).
+	Interval time.Duration
+	// Forward, when non-nil, receives SwitchConnected and non-stats
+	// messages, so Monitor can wrap a forwarding application.
+	Forward switching.Controller
+	// OnUpdate, when non-nil, fires after each snapshot refresh.
+	OnUpdate func(dpid uint64, snap StatsSnapshot)
+
+	sched   *sim.Scheduler
+	snaps   map[uint64]StatsSnapshot
+	stopped bool
+}
+
+// StatsSnapshot is the latest statistics view of one switch.
+type StatsSnapshot struct {
+	At    time.Duration
+	Ports []openflow.PortStats
+	Flows []openflow.FlowStats
+}
+
+// TxPackets sums transmitted packets across ports.
+func (s StatsSnapshot) TxPackets() uint64 {
+	var total uint64
+	for _, p := range s.Ports {
+		total += p.TxPackets
+	}
+	return total
+}
+
+// PortTx returns the transmit counter of one port (0 if absent).
+func (s StatsSnapshot) PortTx(port uint16) uint64 {
+	for _, p := range s.Ports {
+		if p.PortNo == port {
+			return p.TxPackets
+		}
+	}
+	return 0
+}
+
+var _ switching.Controller = (*Monitor)(nil)
+
+// NewMonitor creates a stats poller on the scheduler, optionally wrapping
+// a forwarding application.
+func NewMonitor(sched *sim.Scheduler, forward switching.Controller) *Monitor {
+	return &Monitor{
+		Interval: 500 * time.Millisecond,
+		Forward:  forward,
+		sched:    sched,
+		snaps:    make(map[uint64]StatsSnapshot),
+	}
+}
+
+// Snapshot returns the latest statistics for a datapath.
+func (m *Monitor) Snapshot(dpid uint64) StatsSnapshot { return m.snaps[dpid] }
+
+// Close stops future polls.
+func (m *Monitor) Close() { m.stopped = true }
+
+// SwitchConnected implements switching.Controller.
+func (m *Monitor) SwitchConnected(conn *switching.Conn, features openflow.FeaturesReply) {
+	if m.Forward != nil {
+		m.Forward.SwitchConnected(conn, features)
+	}
+	m.poll(conn)
+}
+
+func (m *Monitor) poll(conn *switching.Conn) {
+	if m.stopped {
+		return
+	}
+	conn.Send(openflow.StatsRequest{
+		StatsType: openflow.StatsPort,
+		Port:      &openflow.PortStatsRequest{PortNo: openflow.PortNone},
+	})
+	conn.Send(openflow.StatsRequest{
+		StatsType: openflow.StatsFlow,
+		Flow:      &openflow.FlowStatsRequest{Match: openflow.MatchAll(), OutPort: openflow.PortNone},
+	})
+	m.sched.After(m.Interval, func() { m.poll(conn) })
+}
+
+// Handle implements switching.Controller.
+func (m *Monitor) Handle(conn *switching.Conn, msg openflow.Message, xid uint32) {
+	rep, ok := msg.(openflow.StatsReply)
+	if !ok {
+		if m.Forward != nil {
+			m.Forward.Handle(conn, msg, xid)
+		}
+		return
+	}
+	snap := m.snaps[conn.DatapathID()]
+	snap.At = m.sched.Now()
+	switch rep.StatsType {
+	case openflow.StatsPort:
+		snap.Ports = rep.Port
+	case openflow.StatsFlow:
+		snap.Flows = rep.Flow
+	}
+	m.snaps[conn.DatapathID()] = snap
+	if m.OnUpdate != nil {
+		m.OnUpdate(conn.DatapathID(), snap)
+	}
+}

@@ -1,0 +1,52 @@
+package controller
+
+import (
+	"netco/internal/openflow"
+	"netco/internal/packet"
+	"netco/internal/switching"
+)
+
+// StaticRouter proactively installs MAC-destination routes on connect —
+// the prototype's forwarding scheme ("the only matched header field is the
+// MAC destination address", §IV). Routes are declared per datapath before
+// the switches connect.
+type StaticRouter struct {
+	// Priority of installed rules.
+	Priority uint16
+
+	routes map[uint64][]Route
+}
+
+// Route is one MAC-destination forwarding rule.
+type Route struct {
+	DstMAC  packet.MAC
+	OutPort uint16
+}
+
+var _ switching.Controller = (*StaticRouter)(nil)
+
+// NewStaticRouter returns an empty static routing app.
+func NewStaticRouter() *StaticRouter {
+	return &StaticRouter{Priority: 100, routes: make(map[uint64][]Route)}
+}
+
+// AddRoute declares that datapath forwards frames for dst out of port.
+func (sr *StaticRouter) AddRoute(datapathID uint64, dst packet.MAC, port uint16) {
+	sr.routes[datapathID] = append(sr.routes[datapathID], Route{DstMAC: dst, OutPort: port})
+}
+
+// SwitchConnected implements switching.Controller: it pushes the declared
+// routes as flow rules.
+func (sr *StaticRouter) SwitchConnected(conn *switching.Conn, features openflow.FeaturesReply) {
+	for _, r := range sr.routes[features.DatapathID] {
+		conn.InstallFlow(openflow.FlowMod{
+			Match:    openflow.MatchAll().WithDlDst(r.DstMAC),
+			Priority: sr.Priority,
+			Actions:  []openflow.Action{openflow.Output(r.OutPort)},
+		})
+	}
+}
+
+// Handle implements switching.Controller. Static routing drops table
+// misses (there is nothing to learn).
+func (sr *StaticRouter) Handle(conn *switching.Conn, msg openflow.Message, xid uint32) {}

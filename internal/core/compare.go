@@ -1,0 +1,240 @@
+package core
+
+import (
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// CompareNodeConfig parameterises the data-plane compare deployment — the
+// stand-in for the paper's dedicated C process on host h3.
+type CompareNodeConfig struct {
+	// Name is the node name.
+	Name string
+	// Engine is the decision-core configuration.
+	Engine Config
+	// PerCopyCost is the CPU time to receive, hash and match one copy
+	// (the memcmp path of the C prototype). It is the resource that
+	// bounds Central3/Central5 throughput in the evaluation.
+	PerCopyCost time.Duration
+	// QueueLimit bounds the ingest queue in copies (zero = unbounded).
+	QueueLimit int
+	// NoBufferIsolation disables the per-router ingest quota. The paper
+	// requires isolation ("In order to prevent resource attacks on this
+	// structure, the different buffers should be (logically) isolated",
+	// §IV): with isolation on (the default), one router can occupy at
+	// most QueueLimit/K of the ingest queue, so a flooding router cannot
+	// crowd out the honest majority's copies. The flag exists for the
+	// ablation that demonstrates the attack.
+	NoBufferIsolation bool
+	// CleanupPerEntry is the CPU stall charged per cache entry scanned
+	// by a cleanup pass — the jitter mechanism of Fig. 8.
+	CleanupPerEntry time.Duration
+	// BlockDuration is how long a DoS-flagged router port is blocked at
+	// the edge (§IV case 2). Zero disables blocking.
+	BlockDuration time.Duration
+	// SweepInterval is the period of the expiry sweep (default:
+	// HoldTimeout / 2).
+	SweepInterval time.Duration
+}
+
+// Alarm is a security event surfaced to the operator.
+type Alarm struct {
+	Kind   EventKind
+	Edge   int
+	Router int
+	At     time.Duration
+	Copies int
+}
+
+// CompareStats aggregates node-level counters on top of the engine's.
+type CompareStats struct {
+	// IngestDrops counts copies lost to a full ingest queue;
+	// QuotaDrops those rejected by a single port's isolation quota.
+	IngestDrops uint64
+	QuotaDrops  uint64
+	// Blocks counts block advisories sent to edges.
+	Blocks uint64
+	// Alarms counts alarms raised.
+	Alarms uint64
+}
+
+// CompareNode is the compare element deployed in the data plane, attached
+// to the combiner's edges over dedicated links. Node port i must connect
+// to the edge with EdgeID i; each direction of the combiner gets its own
+// engine (the frames of the two directions can never match anyway), while
+// the CPU (one Proc) is shared, as in the single-process C prototype.
+type CompareNode struct {
+	cfg   CompareNodeConfig
+	sched *sim.Scheduler
+	ports netem.Ports
+	proc  *netem.Proc
+
+	engines map[int]*Engine
+	edges   map[int]*EdgeSwitch
+	backlog map[int]int // per (edge*MaxK+router) ingest backlog
+
+	// OnAlarm, when non-nil, receives port-silence and detection alarms
+	// ("this raises an alarm to the network administrator", §IV).
+	OnAlarm func(Alarm)
+
+	stats      CompareStats
+	sweepTimer *sim.Timer
+}
+
+var _ netem.Node = (*CompareNode)(nil)
+
+// NewCompareNode creates a compare and starts its periodic expiry sweep.
+// Call Close when discarding the node before the simulation ends.
+func NewCompareNode(sched *sim.Scheduler, cfg CompareNodeConfig) *CompareNode {
+	cfg.Engine = cfg.Engine.withDefaults()
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = cfg.Engine.HoldTimeout / 2
+	}
+	c := &CompareNode{
+		cfg:     cfg,
+		sched:   sched,
+		proc:    netem.NewProc(sched, cfg.PerCopyCost, cfg.QueueLimit),
+		engines: make(map[int]*Engine),
+		edges:   make(map[int]*EdgeSwitch),
+		backlog: make(map[int]int),
+	}
+	c.scheduleSweep()
+	return c
+}
+
+// Name implements netem.Node.
+func (c *CompareNode) Name() string { return c.cfg.Name }
+
+// Ports implements netem.Node.
+func (c *CompareNode) Ports() *netem.Ports { return &c.ports }
+
+// Stats returns node-level counters.
+func (c *CompareNode) Stats() CompareStats { return c.stats }
+
+// EngineStats returns the merged engine counters across directions.
+func (c *CompareNode) EngineStats() Stats {
+	var total Stats
+	for _, e := range c.engines {
+		s := e.Stats()
+		total.Ingested += s.Ingested
+		total.Released += s.Released
+		total.LateCopies += s.LateCopies
+		total.Suppressed += s.Suppressed
+		total.DoSFlagged += s.DoSFlagged
+		total.Detections += s.Detections
+		total.CleanupPasses += s.CleanupPasses
+		total.CleanupScanned += s.CleanupScanned
+	}
+	return total
+}
+
+// RegisterEdge associates an edge with the node port of the same index so
+// that block advisories can be delivered. It must be called for each edge
+// after wiring.
+func (c *CompareNode) RegisterEdge(edgeID int, edge *EdgeSwitch) {
+	c.edges[edgeID] = edge
+}
+
+// Close stops the periodic sweep.
+func (c *CompareNode) Close() {
+	if c.sweepTimer != nil {
+		c.sweepTimer.Stop()
+		c.sweepTimer = nil
+	}
+}
+
+func (c *CompareNode) scheduleSweep() {
+	c.sweepTimer = c.sched.After(c.cfg.SweepInterval, func() {
+		now := c.sched.Now()
+		for edgeID, eng := range c.engines {
+			c.handleEvents(edgeID, eng, eng.Expire(now))
+		}
+		c.scheduleSweep()
+	})
+}
+
+func (c *CompareNode) engineFor(edgeID int) *Engine {
+	eng, ok := c.engines[edgeID]
+	if !ok {
+		eng = NewEngine(c.cfg.Engine)
+		c.engines[edgeID] = eng
+	}
+	return eng
+}
+
+// Receive implements netem.Receiver: node port = edge id; the frame is a
+// compare-channel PacketIn.
+func (c *CompareNode) Receive(port int, frame *packet.Packet) {
+	inPort, pkt, err := decapPacketIn(frame)
+	if err != nil {
+		return
+	}
+	quotaKey := port*2*MaxK + inPort
+	if !c.cfg.NoBufferIsolation && c.cfg.QueueLimit > 0 && c.cfg.Engine.K > 0 {
+		if c.backlog[quotaKey] >= c.cfg.QueueLimit/c.cfg.Engine.K {
+			c.stats.QuotaDrops++
+			return
+		}
+	}
+	if !c.proc.Submit(func() {
+		c.backlog[quotaKey]--
+		c.ingest(port, inPort, pkt)
+	}) {
+		c.stats.IngestDrops++
+		return
+	}
+	c.backlog[quotaKey]++
+}
+
+func (c *CompareNode) ingest(edgeID, inPort int, pkt *packet.Packet) {
+	routerIdx := inPort % MaxK
+	eng := c.engineFor(edgeID)
+	now := c.sched.Now()
+	events := eng.Ingest(now, routerIdx, pkt.Marshal(), pkt)
+	c.handleEvents(edgeID, eng, events)
+
+	if eng.OverCapacity() {
+		cleanupEvents, scanned := eng.Cleanup(now)
+		if scanned > 0 && c.cfg.CleanupPerEntry > 0 {
+			c.proc.Stall(time.Duration(scanned) * c.cfg.CleanupPerEntry)
+		}
+		c.handleEvents(edgeID, eng, cleanupEvents)
+	}
+}
+
+func (c *CompareNode) handleEvents(edgeID int, eng *Engine, events []Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventRelease:
+			// "A single copy of the packet is sent back to the switch,
+			// which then forwards it according to the decision the
+			// majority of the r_i made" (§IV).
+			c.ports.Send(edgeID, encapPacketOut(ev.Pkt))
+		case EventDoS:
+			if c.cfg.BlockDuration > 0 {
+				if edge := c.edges[edgeID]; edge != nil {
+					edge.BlockRouter(ev.Port, c.cfg.BlockDuration)
+					c.stats.Blocks++
+				}
+			}
+			c.alarm(Alarm{Kind: EventDoS, Edge: edgeID, Router: ev.Port, At: c.sched.Now(), Copies: ev.Copies})
+		case EventPortSilent:
+			c.alarm(Alarm{Kind: EventPortSilent, Edge: edgeID, Router: ev.Port, At: c.sched.Now()})
+		case EventDetection:
+			c.alarm(Alarm{Kind: EventDetection, Edge: edgeID, Router: ev.Port, At: c.sched.Now(), Copies: ev.Copies})
+		case EventSuppressed:
+			// Suppressed packets simply never leave the compare; the
+			// engine's counters record them.
+		}
+	}
+}
+
+func (c *CompareNode) alarm(a Alarm) {
+	c.stats.Alarms++
+	if c.OnAlarm != nil {
+		c.OnAlarm(a)
+	}
+}

@@ -1,0 +1,386 @@
+// Package core implements the NetCo robust network combiner — the paper's
+// contribution. A combiner replaces one untrusted router with:
+//
+//   - a trusted hub that replicates every packet to k untrusted routers in
+//     parallel (Hub, or the ingress half of EdgeSwitch),
+//   - the k untrusted routers themselves (ordinary OpenFlow switches from
+//     internal/switching, possibly compromised via internal/adversary), and
+//   - a trusted compare that forwards a packet only once it has been
+//     received from a majority (> ⌊k/2⌋) of the routers (Engine, deployed
+//     either as the data-plane CompareNode — the paper's C prototype — or
+//     as a controller application — the POX3 baseline).
+//
+// Two routers suffice to detect misbehaviour (DetectOnly mode), three to
+// prevent it (§III). The package also contains the virtualized combiner of
+// §VII, which trades the physical parallel routers for VLAN-tagged
+// disjoint paths, and the sampling compare sketched in §IX.
+package core
+
+import (
+	"bytes"
+	"time"
+
+	"netco/internal/packet"
+)
+
+// Mode selects how the compare decides that two copies are "the same
+// packet" (§III: "packets may be compared bit-by-bit, or just based on the
+// header, or hashing can be used").
+type Mode int
+
+// Compare modes.
+const (
+	// ModeBitExact stores the full frame and confirms candidate matches
+	// with a byte comparison — the memcmp() of the C prototype. Safest.
+	ModeBitExact Mode = iota + 1
+	// ModeHashed matches on a digest of the full frame, trading a
+	// negligible collision risk for not storing packet bodies.
+	ModeHashed
+	// ModeHeader matches on the L2–L4 headers only: cheapest, detects
+	// rerouting/mirroring, but blind to payload tampering.
+	ModeHeader
+)
+
+// EventKind classifies compare engine outcomes.
+type EventKind int
+
+// Engine event kinds.
+const (
+	// EventRelease: a packet reached majority and must be forwarded once.
+	EventRelease EventKind = iota + 1
+	// EventDoS: one ingress port delivered the same packet repeatedly
+	// (§IV case 2); the combiner should block that port for a while.
+	EventDoS
+	// EventPortSilent: several consecutive packets were never seen on a
+	// port (§IV case 3); the router is presumed unavailable — alarm.
+	EventPortSilent
+	// EventSuppressed: an entry expired without reaching majority (§IV
+	// case 1: rewritten, exfiltrated or unsolicited packets). The packet
+	// was never forwarded.
+	EventSuppressed
+	// EventDetection: in DetectOnly mode, an entry retired without
+	// unanimity — evidence that some router dropped or altered the
+	// packet.
+	EventDetection
+)
+
+// String names the event kind for logs and alarms.
+func (k EventKind) String() string {
+	switch k {
+	case EventRelease:
+		return "release"
+	case EventDoS:
+		return "dos"
+	case EventPortSilent:
+		return "port-silent"
+	case EventSuppressed:
+		return "suppressed"
+	case EventDetection:
+		return "detection"
+	}
+	return "unknown"
+}
+
+// Event is one compare engine outcome. Port is meaningful for EventDoS,
+// EventPortSilent and EventSuppressed (first port seen); Pkt for
+// EventRelease and EventSuppressed.
+type Event struct {
+	Kind EventKind
+	Port int
+	Pkt  *packet.Packet
+	// Copies is how many copies had arrived when the event fired.
+	Copies int
+}
+
+// Config parameterises the compare engine.
+type Config struct {
+	// K is the number of parallel untrusted routers. Each logical packet
+	// is expected once per port in [0, K).
+	K int
+	// Mode selects the equality notion (default ModeBitExact).
+	Mode Mode
+	// Majority overrides the release threshold (default ⌊K/2⌋+1).
+	Majority int
+	// DetectOnly releases the first copy immediately and uses the
+	// remaining copies only to detect disagreement — the k=2 deployment
+	// of §III.
+	DetectOnly bool
+	// HoldTimeout bounds how long an entry waits for more copies. The
+	// paper: "our construction should bound the waiting time ...
+	// otherwise it is exposed to denial-of-service attacks" (§IV).
+	HoldTimeout time.Duration
+	// CacheCapacity bounds the number of cached entries; exceeding it
+	// triggers a cleanup pass (the jitter mechanism of Fig. 8). Zero
+	// means unbounded.
+	CacheCapacity int
+	// DoSThreshold is the per-port copy count that flags a DoS (≥ 2
+	// copies of the same packet from one port is already misbehaviour;
+	// the default is 3 to tolerate benign L2 retransmission quirks).
+	DoSThreshold int
+	// SilenceThreshold is the number of consecutive retired entries a
+	// port may miss before EventPortSilent fires (default 8).
+	SilenceThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = ModeBitExact
+	}
+	if c.Majority == 0 {
+		c.Majority = c.K/2 + 1
+	}
+	if c.DoSThreshold == 0 {
+		c.DoSThreshold = 3
+	}
+	if c.SilenceThreshold == 0 {
+		c.SilenceThreshold = 8
+	}
+	if c.HoldTimeout == 0 {
+		c.HoldTimeout = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	// Ingested counts copies offered to the engine.
+	Ingested uint64
+	// Released counts packets forwarded (each exactly once).
+	Released uint64
+	// LateCopies counts copies that arrived after their packet was
+	// already released ("if additional packets arrive later, they are
+	// ignored", §IV).
+	LateCopies uint64
+	// Suppressed counts entries that expired without majority: the
+	// attacks NetCo prevented.
+	Suppressed uint64
+	// DoSFlagged counts EventDoS occurrences.
+	DoSFlagged uint64
+	// Detections counts EventDetection occurrences (DetectOnly mode).
+	Detections uint64
+	// CleanupPasses counts cache cleanups; CleanupScanned the total
+	// entries scanned by them.
+	CleanupPasses  uint64
+	CleanupScanned uint64
+}
+
+type entry struct {
+	key      uint64
+	wire     []byte // ModeBitExact: full frame for confirmation
+	pkt      *packet.Packet
+	seen     []uint8 // copies per port
+	distinct int
+	released bool
+	dosSent  bool
+	first    time.Duration
+	firstPt  int
+}
+
+// Engine is the compare decision core: a deterministic state machine with
+// no I/O, time injected by the caller. CompareNode (data plane) and the
+// controller CompareApp (POX3) both embed one.
+type Engine struct {
+	cfg Config
+
+	entries map[uint64][]*entry
+	// fifo holds entries in arrival order for expiry and cleanup scans.
+	fifo []*entry
+	size int
+
+	silent []int // consecutive missed retirements per port
+
+	stats Stats
+}
+
+// NewEngine returns an engine for the given configuration.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:     cfg,
+		entries: make(map[uint64][]*entry),
+		silent:  make([]int, cfg.K),
+	}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Size returns the number of live cache entries.
+func (e *Engine) Size() int { return e.size }
+
+func (e *Engine) keyOf(wire []byte, pkt *packet.Packet) uint64 {
+	switch e.cfg.Mode {
+	case ModeHeader:
+		return packet.HeaderKey(pkt)
+	default:
+		return packet.FastKey(wire)
+	}
+}
+
+// sameFrame confirms that a candidate entry really holds the same packet.
+func (e *Engine) sameFrame(en *entry, wire []byte) bool {
+	if e.cfg.Mode != ModeBitExact {
+		return true // key equality is the whole test
+	}
+	return bytes.Equal(en.wire, wire)
+}
+
+// Ingest offers one copy received on port at virtual time now. wire is the
+// frame's marshalled form and pkt its parsed form (callers usually have
+// both already; the engine never mutates either). The returned events must
+// be acted on by the deployment wrapper.
+func (e *Engine) Ingest(now time.Duration, port int, wire []byte, pkt *packet.Packet) []Event {
+	e.stats.Ingested++
+	if port < 0 || port >= e.cfg.K {
+		// Unknown ingress: treat as a lone suppressed packet.
+		e.stats.Suppressed++
+		return []Event{{Kind: EventSuppressed, Port: port, Pkt: pkt, Copies: 1}}
+	}
+
+	key := e.keyOf(wire, pkt)
+	var en *entry
+	for _, cand := range e.entries[key] {
+		if e.sameFrame(cand, wire) {
+			en = cand
+			break
+		}
+	}
+
+	var events []Event
+	if en == nil {
+		en = &entry{
+			key:     key,
+			pkt:     pkt,
+			seen:    make([]uint8, e.cfg.K),
+			first:   now,
+			firstPt: port,
+		}
+		if e.cfg.Mode == ModeBitExact {
+			en.wire = wire
+		}
+		e.entries[key] = append(e.entries[key], en)
+		e.fifo = append(e.fifo, en)
+		e.size++
+	}
+
+	if en.seen[port] < 0xff {
+		en.seen[port]++
+	}
+	if en.seen[port] == 1 {
+		en.distinct++
+	}
+
+	// DoS: the same port keeps delivering the same packet.
+	if int(en.seen[port]) >= e.cfg.DoSThreshold && !en.dosSent {
+		en.dosSent = true
+		e.stats.DoSFlagged++
+		events = append(events, Event{Kind: EventDoS, Port: port, Pkt: pkt, Copies: int(en.seen[port])})
+	}
+
+	if en.released {
+		e.stats.LateCopies++
+		return events
+	}
+
+	release := en.distinct >= e.cfg.Majority
+	if e.cfg.DetectOnly && en.distinct >= 1 {
+		release = true
+	}
+	if release {
+		en.released = true
+		e.stats.Released++
+		events = append(events, Event{Kind: EventRelease, Port: port, Pkt: en.pkt, Copies: en.distinct})
+	}
+	return events
+}
+
+// Expire retires entries older than HoldTimeout, returning suppression,
+// detection and port-silence events. Deployments call it periodically.
+func (e *Engine) Expire(now time.Duration) []Event {
+	var events []Event
+	cutoff := now - e.cfg.HoldTimeout
+	for len(e.fifo) > 0 && e.fifo[0].first <= cutoff {
+		en := e.fifo[0]
+		e.fifo = e.fifo[1:]
+		events = e.retire(en, events)
+	}
+	return events
+}
+
+// retire removes an entry from the cache and accounts for its outcome.
+func (e *Engine) retire(en *entry, events []Event) []Event {
+	// Remove from the key bucket.
+	bucket := e.entries[en.key]
+	for i, cand := range bucket {
+		if cand == en {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(e.entries, en.key)
+	} else {
+		e.entries[en.key] = bucket
+	}
+	e.size--
+
+	if !en.released {
+		e.stats.Suppressed++
+		events = append(events, Event{
+			Kind:   EventSuppressed,
+			Port:   en.firstPt,
+			Pkt:    en.pkt,
+			Copies: en.distinct,
+		})
+	} else if e.cfg.DetectOnly && en.distinct < e.cfg.K {
+		e.stats.Detections++
+		events = append(events, Event{Kind: EventDetection, Port: en.firstPt, Pkt: en.pkt, Copies: en.distinct})
+	}
+
+	// Port-silence accounting: only meaningful for entries that reached
+	// majority (a suppressed unique packet says nothing about the other
+	// routers — it likely never existed on their paths).
+	if en.released {
+		for p := 0; p < e.cfg.K; p++ {
+			if en.seen[p] > 0 {
+				e.silent[p] = 0
+				continue
+			}
+			e.silent[p]++
+			if e.silent[p] == e.cfg.SilenceThreshold {
+				events = append(events, Event{Kind: EventPortSilent, Port: p})
+			}
+		}
+	}
+	return events
+}
+
+// Cleanup runs the cache-full cleanup pass: it retires, oldest first, as
+// many entries as needed to bring the cache back under capacity (released
+// and expired entries are preferred implicitly because they are the
+// oldest). It returns the retirement events and the number of entries
+// scanned — the deployment charges a proportional CPU stall, which is the
+// jitter mechanism the paper observes in Fig. 8.
+func (e *Engine) Cleanup(now time.Duration) (events []Event, scanned int) {
+	if e.cfg.CacheCapacity <= 0 || e.size <= e.cfg.CacheCapacity {
+		return nil, 0
+	}
+	e.stats.CleanupPasses++
+	target := e.cfg.CacheCapacity / 2
+	for e.size > target && len(e.fifo) > 0 {
+		en := e.fifo[0]
+		e.fifo = e.fifo[1:]
+		scanned++
+		events = e.retire(en, events)
+	}
+	e.stats.CleanupScanned += uint64(scanned)
+	return events, scanned
+}
+
+// OverCapacity reports whether the cache exceeds its configured capacity.
+func (e *Engine) OverCapacity() bool {
+	return e.cfg.CacheCapacity > 0 && e.size > e.cfg.CacheCapacity
+}

@@ -1,0 +1,209 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"netco/internal/adversary"
+	"netco/internal/core"
+	"netco/internal/openflow"
+	"netco/internal/packet"
+	"netco/internal/sim"
+	"netco/internal/switching"
+	"netco/internal/traffic"
+)
+
+// randomBehavior draws one of the §II attack classes with randomised
+// parameters.
+func randomBehavior(rng *sim.RNG, victimMAC packet.MAC) (string, switching.Behavior) {
+	match := openflow.MatchAll().WithDlDst(victimMAC)
+	switch rng.Intn(7) {
+	case 0:
+		return "drop-all", &adversary.Drop{Match: match}
+	case 1:
+		p := 0.1 + 0.8*rng.Float64()
+		return fmt.Sprintf("drop-%.0f%%", p*100), &adversary.Drop{Match: match, Probability: p, Rng: rng.Fork()}
+	case 2:
+		return "reroute-back", &adversary.Reroute{Match: match, ToPort: core.RouterPortLeft}
+	case 3:
+		return "mirror-back", &adversary.Mirror{Match: match, ToPort: core.RouterPortLeft}
+	case 4:
+		vid := uint16(1 + rng.Intn(4000))
+		return fmt.Sprintf("vlan-%d", vid), &adversary.Modify{
+			Match: match, Rewrite: []openflow.Action{openflow.SetVLANVID(vid)},
+		}
+	case 5:
+		return "payload-ish-tos", &adversary.Modify{
+			Match: match, Rewrite: []openflow.Action{openflow.SetNwTOS(uint8(rng.Intn(64)) << 2)},
+		}
+	default:
+		return "replay", &adversary.Replay{Match: match, Extra: 1 + rng.Intn(8)}
+	}
+}
+
+// TestSingleCompromisedRouterNeverCorrupts is the combiner's headline
+// guarantee, fuzzed: for any single compromised router out of k=3
+// running any §II attack with random parameters, the receiver observes
+// exactly the sender's datagrams — no loss, no duplicates, no tampered
+// payloads — and nothing the attacker fabricated.
+func TestSingleCompromisedRouterNeverCorrupts(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed)
+			evil := rng.Intn(3)
+			var label string
+			r := buildRig(t, 3, core.CombinerCentral, func(i int) switching.Behavior {
+				if i != evil {
+					return nil
+				}
+				var b switching.Behavior
+				label, b = randomBehavior(rng, packet.HostMAC(2))
+				return b
+			})
+			defer r.comb.Close()
+
+			sink := traffic.NewUDPSink(r.h2, 5001)
+			src := traffic.NewUDPSource(r.h1, 4001, r.h2.Endpoint(5001), traffic.UDPSourceConfig{
+				Rate:        15e6,
+				PayloadSize: 700,
+				Jitter:      100 * time.Microsecond,
+				Rng:         rng.Fork(),
+			})
+			src.Start()
+			r.sched.RunFor(300 * time.Millisecond)
+			src.Stop()
+			r.sched.RunFor(100 * time.Millisecond)
+
+			st := sink.Stats()
+			if st.Unique != src.Sent {
+				t.Errorf("attack %q on router %d: delivered %d of %d", label, evil, st.Unique, src.Sent)
+			}
+			if st.Duplicates != 0 {
+				t.Errorf("attack %q: %d duplicates leaked", label, st.Duplicates)
+			}
+			if st.Corrupted != 0 {
+				t.Errorf("attack %q: %d corrupted payloads delivered", label, st.Corrupted)
+			}
+			if st.Reordered != 0 {
+				t.Errorf("attack %q: %d reordered datagrams", label, st.Reordered)
+			}
+		})
+	}
+}
+
+// TestSingleCompromisedRouterInlineNeverCorrupts fuzzes the same
+// guarantee for the middlebox (inline) deployment.
+func TestSingleCompromisedRouterInlineNeverCorrupts(t *testing.T) {
+	for seed := int64(100); seed < 108; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed)
+			evil := rng.Intn(3)
+			var label string
+			r := buildInlineRig(t, 3, func(i int) switching.Behavior {
+				if i != evil {
+					return nil
+				}
+				var b switching.Behavior
+				label, b = randomBehavior(rng, packet.HostMAC(2))
+				return b
+			})
+			defer r.comb.Close()
+
+			sink := traffic.NewUDPSink(r.h2, 5001)
+			src := traffic.NewUDPSource(r.h1, 4001, r.h2.Endpoint(5001), traffic.UDPSourceConfig{
+				Rate:        15e6,
+				PayloadSize: 700,
+				Jitter:      100 * time.Microsecond,
+				Rng:         rng.Fork(),
+			})
+			src.Start()
+			r.sched.RunFor(300 * time.Millisecond)
+			src.Stop()
+			r.sched.RunFor(100 * time.Millisecond)
+
+			st := sink.Stats()
+			if st.Unique != src.Sent || st.Duplicates != 0 || st.Corrupted != 0 {
+				t.Errorf("attack %q on router %d: unique=%d/%d dups=%d corrupted=%d",
+					label, evil, st.Unique, src.Sent, st.Duplicates, st.Corrupted)
+			}
+		})
+	}
+}
+
+// TestTwoCompromisedOfFiveNeverCorrupt extends the guarantee to the
+// strong combiner: any two compromised routers out of k=5.
+func TestTwoCompromisedOfFiveNeverCorrupt(t *testing.T) {
+	for seed := int64(200); seed < 208; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed)
+			evilA := rng.Intn(5)
+			evilB := (evilA + 1 + rng.Intn(4)) % 5
+			labels := make(map[int]string)
+			r := buildRig(t, 5, core.CombinerCentral, func(i int) switching.Behavior {
+				if i != evilA && i != evilB {
+					return nil
+				}
+				label, b := randomBehavior(rng, packet.HostMAC(2))
+				labels[i] = label
+				return b
+			})
+			defer r.comb.Close()
+
+			sink := traffic.NewUDPSink(r.h2, 5001)
+			src := traffic.NewUDPSource(r.h1, 4001, r.h2.Endpoint(5001), traffic.UDPSourceConfig{
+				Rate:        15e6,
+				PayloadSize: 700,
+			})
+			src.Start()
+			r.sched.RunFor(300 * time.Millisecond)
+			src.Stop()
+			r.sched.RunFor(100 * time.Millisecond)
+
+			st := sink.Stats()
+			if st.Unique != src.Sent || st.Duplicates != 0 || st.Corrupted != 0 {
+				t.Errorf("attacks %v: unique=%d/%d dups=%d corrupted=%d",
+					labels, st.Unique, src.Sent, st.Duplicates, st.Corrupted)
+			}
+		})
+	}
+}
+
+// TestMajorityCompromisedBreaks documents the model's boundary: two
+// colluding routers out of three CAN defeat the combiner — NetCo's
+// guarantee explicitly rests on the non-cooperation assumption (§II).
+func TestMajorityCompromisedBreaks(t *testing.T) {
+	rewrite := []openflow.Action{openflow.SetVLANVID(666)}
+	r := buildRig(t, 3, core.CombinerCentral, func(i int) switching.Behavior {
+		if i == 2 {
+			return nil
+		}
+		// Two routers collude on an identical rewrite.
+		return &adversary.Modify{
+			Match:   openflow.MatchAll().WithDlDst(packet.HostMAC(2)),
+			Rewrite: rewrite,
+		}
+	})
+	defer r.comb.Close()
+
+	got := 0
+	r.h2.HandleUDP(5001, func(pkt *packet.Packet) {
+		if pkt.Eth.VLAN != nil && pkt.Eth.VLAN.VID == 666 {
+			got++
+		}
+	})
+	src := traffic.NewUDPSource(r.h1, 4001, r.h2.Endpoint(5001), traffic.UDPSourceConfig{
+		Rate: 5e6, PayloadSize: 500,
+	})
+	src.Start()
+	r.sched.RunFor(100 * time.Millisecond)
+	src.Stop()
+	r.sched.RunFor(100 * time.Millisecond)
+
+	if got == 0 {
+		t.Fatal("colluding majority failed to push its rewrite through — the model boundary moved")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"netco/internal/netem"
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// Hub is the trusted stateless replicator of §III: "the logic boils down
+// to multiplying the packets, in a stateless manner" (§IV). Every packet
+// received on any port is forwarded out of every other port.
+//
+// Hub is deliberately trivial: the paper's premise is that trusted
+// components are affordable exactly because they are this simple.
+type Hub struct {
+	name  string
+	sched *sim.Scheduler
+	ports netem.Ports
+
+	// Replicated counts forwarded copies.
+	Replicated uint64
+}
+
+var _ netem.Node = (*Hub)(nil)
+
+// NewHub creates a hub.
+func NewHub(sched *sim.Scheduler, name string) *Hub {
+	return &Hub{name: name, sched: sched}
+}
+
+// Name implements netem.Node.
+func (h *Hub) Name() string { return h.name }
+
+// Ports implements netem.Node.
+func (h *Hub) Ports() *netem.Ports { return &h.ports }
+
+// Receive implements netem.Receiver: replicate to all other ports.
+func (h *Hub) Receive(port int, pkt *packet.Packet) {
+	for _, p := range h.ports.List() {
+		if p == port {
+			continue
+		}
+		if h.ports.Send(p, pkt) {
+			h.Replicated++
+		}
+	}
+}

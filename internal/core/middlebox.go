@@ -1,0 +1,166 @@
+package core
+
+import (
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// MiddleboxConfig parameterises an inline compare — the §IX alternative
+// architecture: "implement the compare function inband, as a middlebox
+// or NFV function".
+type MiddleboxConfig struct {
+	// Name is the node name.
+	Name string
+	// K is the combiner parallelism; copies arrive VLAN-labelled with
+	// TagBase+routerIndex (the trusted edge applies the label so the
+	// middlebox can attribute copies to routers — without attribution a
+	// single router could fake a majority by sending k copies).
+	K int
+	// TagBase is the first attribution VLAN id (default 101).
+	TagBase uint16
+	// Engine configures the decision core (Engine.K forced to K).
+	Engine Config
+	// PerCopyCost is the compare CPU cost per copy; QueueLimit bounds
+	// the ingest queue.
+	PerCopyCost time.Duration
+	QueueLimit  int
+}
+
+// MiddleboxStats counts middlebox activity.
+type MiddleboxStats struct {
+	// Combined counts packets released toward the host side;
+	// PassedThrough counts host-side packets forwarded unmodified.
+	Combined      uint64
+	PassedThrough uint64
+	// Unattributed counts network-side packets without a valid
+	// attribution label (never combined — see MiddleboxConfig.K).
+	Unattributed uint64
+}
+
+// Middlebox ports.
+const (
+	// MiddleboxNetPort faces the combiner (tagged copies in, plain
+	// traffic out); MiddleboxHostPort faces the protected host.
+	MiddleboxNetPort  = 0
+	MiddleboxHostPort = 1
+)
+
+// Middlebox is a bump-in-the-wire compare: copies flow *through* it
+// rather than detouring to an out-of-band server, so it adds no extra
+// links, and each direction of a connection is served by its own
+// middlebox CPU. It is the efficient alternative the paper's conclusion
+// anticipates; the InlineCombiner experiments quantify the gain.
+type Middlebox struct {
+	cfg   MiddleboxConfig
+	sched *sim.Scheduler
+	ports netem.Ports
+	proc  *netem.Proc
+
+	engine *Engine
+
+	// OnAlarm receives DoS / silence alarms from the engine.
+	OnAlarm func(Alarm)
+
+	stats      MiddleboxStats
+	sweepTimer *sim.Timer
+}
+
+var _ netem.Node = (*Middlebox)(nil)
+
+// NewMiddlebox creates an inline compare and starts its expiry sweep;
+// Close stops it.
+func NewMiddlebox(sched *sim.Scheduler, cfg MiddleboxConfig) *Middlebox {
+	if cfg.TagBase == 0 {
+		cfg.TagBase = 101
+	}
+	cfg.Engine.K = cfg.K
+	m := &Middlebox{
+		cfg:    cfg,
+		sched:  sched,
+		proc:   netem.NewProc(sched, cfg.PerCopyCost, cfg.QueueLimit),
+		engine: NewEngine(cfg.Engine),
+	}
+	m.scheduleSweep()
+	return m
+}
+
+// Name implements netem.Node.
+func (m *Middlebox) Name() string { return m.cfg.Name }
+
+// Ports implements netem.Node.
+func (m *Middlebox) Ports() *netem.Ports { return &m.ports }
+
+// Stats returns the middlebox counters.
+func (m *Middlebox) Stats() MiddleboxStats { return m.stats }
+
+// EngineStats returns the decision core's counters.
+func (m *Middlebox) EngineStats() Stats { return m.engine.Stats() }
+
+// Close stops the periodic sweep.
+func (m *Middlebox) Close() {
+	if m.sweepTimer != nil {
+		m.sweepTimer.Stop()
+		m.sweepTimer = nil
+	}
+}
+
+func (m *Middlebox) scheduleSweep() {
+	m.sweepTimer = m.sched.After(m.engine.Config().HoldTimeout/2, func() {
+		m.handleEvents(m.engine.Expire(m.sched.Now()))
+		m.scheduleSweep()
+	})
+}
+
+// Receive implements netem.Receiver.
+func (m *Middlebox) Receive(port int, pkt *packet.Packet) {
+	switch port {
+	case MiddleboxHostPort:
+		// Host-to-network traffic is not ours to vote on; pass it.
+		m.stats.PassedThrough++
+		m.ports.Send(MiddleboxNetPort, pkt)
+	case MiddleboxNetPort:
+		if !m.proc.Submit(func() { m.combine(pkt) }) {
+			return
+		}
+	}
+}
+
+func (m *Middlebox) combine(pkt *packet.Packet) {
+	idx := -1
+	if pkt.Eth.VLAN != nil {
+		if d := int(pkt.Eth.VLAN.VID) - int(m.cfg.TagBase); d >= 0 && d < m.cfg.K {
+			idx = d
+		}
+	}
+	if idx < 0 {
+		m.stats.Unattributed++
+		return
+	}
+	stripped := pkt.Clone()
+	stripped.Eth.VLAN = nil
+	m.handleEvents(m.engine.Ingest(m.sched.Now(), idx, stripped.Marshal(), stripped))
+	if m.engine.OverCapacity() {
+		events, scanned := m.engine.Cleanup(m.sched.Now())
+		if scanned > 0 {
+			m.proc.Stall(time.Duration(scanned) * 500 * time.Nanosecond)
+		}
+		m.handleEvents(events)
+	}
+}
+
+func (m *Middlebox) handleEvents(events []Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventRelease:
+			m.stats.Combined++
+			m.ports.Send(MiddleboxHostPort, ev.Pkt)
+		case EventDoS, EventPortSilent, EventDetection:
+			if m.OnAlarm != nil {
+				m.OnAlarm(Alarm{Kind: ev.Kind, Router: ev.Port, At: m.sched.Now(), Copies: ev.Copies})
+			}
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScenarioNames(t *testing.T) {
+	want := map[Scenario]string{
+		ScenLinespeed: "Linespeed",
+		ScenCentral3:  "Central3",
+		ScenCentral5:  "Central5",
+		ScenPOX3:      "POX3",
+		ScenDup3:      "Dup3",
+		ScenDup5:      "Dup5",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("String(%d) = %q, want %q", s, s.String(), name)
+		}
+	}
+	if Scenario(0).String() != "Unknown" {
+		t.Error("zero scenario should be Unknown")
+	}
+}
+
+func TestScenarioK(t *testing.T) {
+	if ScenLinespeed.K() != 1 || ScenCentral3.K() != 3 || ScenCentral5.K() != 5 ||
+		ScenDup3.K() != 3 || ScenDup5.K() != 5 || ScenPOX3.K() != 3 {
+		t.Fatal("scenario K mapping wrong")
+	}
+}
+
+func TestCaseStudyMatchesPaper(t *testing.T) {
+	r := RunCaseStudy(DefaultParams())
+
+	// Baseline: "we witness 10 perfect cycles" and no stray packets.
+	b := r.Baseline
+	if b.RequestsSent != 10 || b.RequestsAtFirewall != 10 || b.ResponsesAtVM != 10 {
+		t.Fatalf("baseline = %+v, want 10/10/10", b)
+	}
+	if b.StrayAtCore != 0 {
+		t.Fatalf("baseline saw %d stray packets at the core", b.StrayAtCore)
+	}
+	if b.PathRuleRequests != 10 {
+		t.Fatalf("baseline flow counter = %d, want 10", b.PathRuleRequests)
+	}
+
+	// Attack: "After 10 requests sent, we witness 20 requests arriving
+	// at fw1 and 0 responses arriving at vm1."
+	a := r.Attack
+	if a.RequestsAtFirewall != 20 {
+		t.Fatalf("attack: %d requests at fw1, want 20", a.RequestsAtFirewall)
+	}
+	if a.ResponsesAtVM != 0 {
+		t.Fatalf("attack: %d responses at vm1, want 0", a.ResponsesAtVM)
+	}
+	if a.StrayAtCore == 0 {
+		t.Fatal("attack: mirrored packets never crossed the core")
+	}
+
+	// Protected: "all 10 request response cycles completed successfully"
+	// and the mirrored packets died inside the compare.
+	pr := r.Protected
+	if pr.RequestsAtFirewall != 10 || pr.ResponsesAtVM != 10 {
+		t.Fatalf("protected = %+v, want 10 requests / 10 responses", pr)
+	}
+	if pr.StrayAtCore != 0 {
+		t.Fatalf("protected saw %d stray packets", pr.StrayAtCore)
+	}
+	if pr.CompareSuppressed != 10 {
+		t.Fatalf("compare suppressed %d, want the 10 mirrored requests", pr.CompareSuppressed)
+	}
+	if pr.CompareReleased != 20 {
+		t.Fatalf("compare released %d, want 20 (10 requests + 10 responses)", pr.CompareReleased)
+	}
+	if pr.DuplicateResponses != 0 {
+		t.Fatalf("protected leaked %d duplicate responses", pr.DuplicateResponses)
+	}
+}
+
+func TestRunVirtual(t *testing.T) {
+	p := DefaultParams()
+	p.UDPDuration = 300 * time.Millisecond
+	r := RunVirtual(p)
+
+	if r.PreventDelivered != r.PreventSent {
+		t.Fatalf("prevention delivered %d of %d", r.PreventDelivered, r.PreventSent)
+	}
+	if r.PreventSuppressed == 0 {
+		t.Fatal("prevention suppressed nothing despite a tampering path")
+	}
+	if r.DetectDelivered != r.DetectSent {
+		t.Fatalf("detection delivered %d of %d", r.DetectDelivered, r.DetectSent)
+	}
+	if r.DetectAlarms == 0 || r.FirstDetectionAt < 0 {
+		t.Fatal("detection raised no alarms")
+	}
+	if r.CombinedMbps <= 0 || r.BaselineMbps <= 0 {
+		t.Fatal("overhead runs produced no throughput")
+	}
+	if r.CombinedMbps > r.BaselineMbps {
+		t.Fatalf("virtual combiner (%.1f) outran the bare path (%.1f)", r.CombinedMbps, r.BaselineMbps)
+	}
+}
+
+func TestRunTCPQuick(t *testing.T) {
+	p := DefaultParams().Quick()
+	r := RunTCP(p, ScenLinespeed)
+	if r.Mbps < 300 {
+		t.Fatalf("quick Linespeed TCP = %.1f Mbit/s, want near line rate", r.Mbps)
+	}
+	if len(r.Runs) != p.TCPRuns {
+		t.Fatalf("runs = %d, want %d", len(r.Runs), p.TCPRuns)
+	}
+}
+
+func TestRunUDPMaxQuick(t *testing.T) {
+	p := DefaultParams().Quick()
+	r := RunUDPMax(p, ScenCentral3)
+	if r.Mbps < 100 || r.Mbps > 400 {
+		t.Fatalf("quick Central3 UDP max = %.1f Mbit/s, want in (100, 400)", r.Mbps)
+	}
+	if r.Loss > p.UDPLossGoal {
+		t.Fatalf("reported loss %.4f exceeds the goal", r.Loss)
+	}
+}
+
+func TestRunPingQuick(t *testing.T) {
+	p := DefaultParams().Quick()
+	lin := RunPing(p, ScenLinespeed)
+	cen := RunPing(p, ScenCentral3)
+	if lin.Received != lin.Sent {
+		t.Fatalf("linespeed lost pings: %d/%d", lin.Received, lin.Sent)
+	}
+	if cen.AvgRTT <= lin.AvgRTT {
+		t.Fatalf("Central3 RTT %v not above Linespeed %v", cen.AvgRTT, lin.AvgRTT)
+	}
+}
+
+func TestFig6LossGrowsWithLoad(t *testing.T) {
+	p := DefaultParams()
+	p.UDPDuration = 300 * time.Millisecond
+	pts := RunFig6(p, []float64{100e6, 300e6, 450e6})
+	if pts[0].Loss > 0.01 {
+		t.Fatalf("loss %.3f at 100 Mbit/s, want ≈0", pts[0].Loss)
+	}
+	if pts[2].Loss <= pts[0].Loss {
+		t.Fatalf("loss did not grow with load: %v", pts)
+	}
+	// Beyond the knee the achieved rate saturates below offered.
+	if pts[2].AchievedMbps > pts[2].OfferedMbps*0.9 {
+		t.Fatalf("achieved %.1f at offered %.1f — no saturation visible",
+			pts[2].AchievedMbps, pts[2].OfferedMbps)
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	rows := []Table1Row{{Scenario: ScenLinespeed, TCPMbps: 474, UDPMbps: 478, AvgRTT: 180 * time.Microsecond}}
+	s := FormatTable1(rows)
+	if !strings.Contains(s, "Linespeed") || !strings.Contains(s, "474") {
+		t.Fatalf("FormatTable1 output %q", s)
+	}
+}
+
+// TestEvaluationShape asserts the qualitative claims of §V-B on a
+// moderately sized run: security costs performance; k=5 < k=3; combining
+// beats duplication for TCP; UDP tracks Linespeed more closely than TCP;
+// POX3 is drastically worst; RTT ordering.
+func TestEvaluationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape run takes ~1 min")
+	}
+	p := DefaultParams()
+	p.TCPDuration = time.Second
+	p.TCPRuns = 1
+	p.UDPDuration = 500 * time.Millisecond
+	p.PingSeqs = 1
+
+	tcp := make(map[Scenario]float64)
+	for _, s := range AllScenarios {
+		tcp[s] = RunTCP(p, s).Mbps
+	}
+	if !(tcp[ScenLinespeed] > tcp[ScenCentral3] &&
+		tcp[ScenCentral3] > tcp[ScenDup3] &&
+		tcp[ScenCentral3] > tcp[ScenCentral5] &&
+		tcp[ScenDup3] > tcp[ScenDup5]) {
+		t.Errorf("TCP ordering violated: %v", tcp)
+	}
+	if tcp[ScenPOX3] > tcp[ScenCentral5]/2 {
+		t.Errorf("POX3 (%.1f) not drastically below the data-plane compare (%v)", tcp[ScenPOX3], tcp)
+	}
+	// Security costs performance: every combiner well below Linespeed.
+	for _, s := range []Scenario{ScenCentral3, ScenCentral5, ScenDup3, ScenDup5} {
+		if tcp[s] > 0.5*tcp[ScenLinespeed] {
+			t.Errorf("%v TCP %.1f not clearly below Linespeed %.1f", s, tcp[s], tcp[ScenLinespeed])
+		}
+	}
+
+	udp := make(map[Scenario]float64)
+	for _, s := range TableScenarios {
+		udp[s] = RunUDPMax(p, s).Mbps
+	}
+	// "The test scenarios better approximate the benchmark scenario
+	// Linespeed when packets are exchanged using connectionless UDP."
+	for _, s := range []Scenario{ScenCentral3, ScenDup3} {
+		udpRatio := udp[s] / udp[ScenLinespeed]
+		tcpRatio := tcp[s] / tcp[ScenLinespeed]
+		if udpRatio <= tcpRatio {
+			t.Errorf("%v: UDP ratio %.2f not above TCP ratio %.2f", s, udpRatio, tcpRatio)
+		}
+	}
+	if !(udp[ScenCentral3] > udp[ScenCentral5] && udp[ScenDup3] > udp[ScenDup5]) {
+		t.Errorf("UDP k ordering violated: %v", udp)
+	}
+
+	rtt := make(map[Scenario]time.Duration)
+	for _, s := range TableScenarios {
+		rtt[s] = RunPing(p, s).AvgRTT
+	}
+	if !(rtt[ScenLinespeed] <= rtt[ScenDup3] &&
+		rtt[ScenDup3] <= rtt[ScenDup5]+time.Microsecond &&
+		rtt[ScenDup5] < rtt[ScenCentral3] &&
+		rtt[ScenCentral3] < rtt[ScenCentral5]) {
+		t.Errorf("RTT ordering violated: %v", rtt)
+	}
+}
+
+// TestFig8Shape asserts the jitter claim: "bigger packets lead to lower
+// jitter", most visibly for the combining scenarios.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("jitter sweep takes ~30s")
+	}
+	p := DefaultParams()
+	p.UDPDuration = 500 * time.Millisecond
+	pts := RunJitter(p, ScenCentral3, []int{128, 1470})
+	if pts[0].Jitter <= pts[1].Jitter {
+		t.Errorf("jitter at 128 B (%v) not above 1470 B (%v)", pts[0].Jitter, pts[1].Jitter)
+	}
+}
+
+func TestKSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k sweep takes ~20s")
+	}
+	p := DefaultParams()
+	p.TCPDuration = 500 * time.Millisecond
+	p.TCPRuns = 1
+	p.UDPDuration = 300 * time.Millisecond
+	p.PingSeqs = 1
+	p.PingCount = 10
+	pts := RunKSweep(p, []int{1, 3, 5})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Tolerated != 0 || pts[1].Tolerated != 1 || pts[2].Tolerated != 2 {
+		t.Fatalf("tolerance wrong: %+v", pts)
+	}
+	// Monotone cost with k.
+	if !(pts[0].TCPMbps > pts[1].TCPMbps && pts[1].TCPMbps > pts[2].TCPMbps) {
+		t.Errorf("TCP not decreasing in k: %+v", pts)
+	}
+	if !(pts[0].UDPMbps > pts[1].UDPMbps && pts[1].UDPMbps > pts[2].UDPMbps) {
+		t.Errorf("UDP not decreasing in k: %+v", pts)
+	}
+	if pts[0].AvgRTT > pts[2].AvgRTT {
+		t.Errorf("RTT decreasing in k: %+v", pts)
+	}
+}
+
+func TestDoSDefences(t *testing.T) {
+	p := DefaultParams()
+	p.UDPDuration = 500 * time.Millisecond
+	r := RunDoS(p)
+	if r.BaselineMbps < 90 {
+		t.Fatalf("baseline %.1f Mbit/s, want ≈100", r.BaselineMbps)
+	}
+	// Port blocking confines a replaying router with no benign impact.
+	if r.ReplayBlocks == 0 {
+		t.Fatal("replay attack never triggered a block")
+	}
+	if r.ReplayMbps < 0.95*r.BaselineMbps {
+		t.Fatalf("replay goodput %.1f vs baseline %.1f — blocking ineffective", r.ReplayMbps, r.BaselineMbps)
+	}
+	// Buffer isolation keeps a forged flood from starving benign copies.
+	if r.QuotaDrops == 0 {
+		t.Fatal("isolation quota never engaged")
+	}
+	if r.FloodIsolatedMbps < 0.95*r.BaselineMbps {
+		t.Fatalf("isolated flood goodput %.1f vs baseline %.1f", r.FloodIsolatedMbps, r.BaselineMbps)
+	}
+	if r.FloodSharedMbps > 0.92*r.FloodIsolatedMbps {
+		t.Fatalf("shared-buffer flood goodput %.1f not clearly below isolated %.1f",
+			r.FloodSharedMbps, r.FloodIsolatedMbps)
+	}
+}

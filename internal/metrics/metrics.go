@@ -1,0 +1,103 @@
+// Package metrics provides the measurement primitives the evaluation
+// harness reports: running summary statistics, RFC 3550 interarrival
+// jitter, and throughput accounting — the quantities behind Table I and
+// Figs. 4–8 of the paper.
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Summary accumulates running statistics (Welford's algorithm) without
+// retaining samples.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasSamples bool
+}
+
+// Add folds one sample in.
+func (s *Summary) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasSamples || x < s.min {
+		s.min = x
+	}
+	if !s.hasSamples || x > s.max {
+		s.max = x
+	}
+	s.hasSamples = true
+}
+
+// AddDuration folds a duration sample in, in seconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the sample count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Std returns the sample standard deviation (0 with < 2 samples).
+func (s *Summary) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() float64 { return s.max }
+
+// MeanDuration returns the mean as a duration, for time-valued summaries.
+func (s *Summary) MeanDuration() time.Duration {
+	return time.Duration(s.mean * float64(time.Second))
+}
+
+// Jitter is the RFC 3550 §6.4.1 interarrival jitter estimator iperf uses
+// for its UDP jitter report (Fig. 8): a smoothed mean deviation of
+// transit-time differences, J += (|D| − J) / 16.
+type Jitter struct {
+	j       float64 // seconds
+	last    time.Duration
+	hasLast bool
+	n       int
+}
+
+// Sample folds in the transit time (receive time − send time) of one
+// packet.
+func (j *Jitter) Sample(transit time.Duration) {
+	if j.hasLast {
+		d := math.Abs((transit - j.last).Seconds())
+		j.j += (d - j.j) / 16
+		j.n++
+	}
+	j.last = transit
+	j.hasLast = true
+}
+
+// Value returns the current jitter estimate.
+func (j *Jitter) Value() time.Duration {
+	return time.Duration(j.j * float64(time.Second))
+}
+
+// N returns the number of differences folded in.
+func (j *Jitter) N() int { return j.n }
+
+// Throughput converts a byte count over an interval to bits per second.
+func Throughput(bytes uint64, interval time.Duration) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / interval.Seconds()
+}
+
+// Mbps converts bits per second to megabits per second for reporting.
+func Mbps(bitsPerSec float64) float64 { return bitsPerSec / 1e6 }

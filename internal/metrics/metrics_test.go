@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Sample std of this classic dataset is ~2.138.
+	if got := s.Std(); math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("Std = %v, want ≈2.138", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+}
+
+func TestSummaryDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(100 * time.Microsecond)
+	s.AddDuration(300 * time.Microsecond)
+	got := s.MeanDuration()
+	if got < 199*time.Microsecond || got > 201*time.Microsecond {
+		t.Fatalf("MeanDuration = %v, want ≈200µs", got)
+	}
+}
+
+// Property: mean is always within [min, max], std >= 0.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(samples []float64) bool {
+		var s Summary
+		for _, x := range samples {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue // keep m2 within float range
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Std() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterConstantTransitIsZero(t *testing.T) {
+	var j Jitter
+	for i := 0; i < 100; i++ {
+		j.Sample(50 * time.Microsecond)
+	}
+	if j.Value() != 0 {
+		t.Fatalf("jitter = %v for constant transit, want 0", j.Value())
+	}
+	if j.N() != 99 {
+		t.Fatalf("N = %d, want 99", j.N())
+	}
+}
+
+func TestJitterConvergesToMeanDeviation(t *testing.T) {
+	// Alternating transit 0/100µs: |D| = 100µs every step; the RFC 3550
+	// filter converges to 100µs.
+	var j Jitter
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			j.Sample(0)
+		} else {
+			j.Sample(100 * time.Microsecond)
+		}
+	}
+	got := j.Value()
+	if got < 95*time.Microsecond || got > 100*time.Microsecond {
+		t.Fatalf("jitter = %v, want ≈100µs", got)
+	}
+}
+
+func TestJitterSmoothing(t *testing.T) {
+	// One outlier among constant transit moves the estimate by 1/16 of
+	// the deviation, twice (entering and leaving the outlier).
+	var j Jitter
+	for i := 0; i < 50; i++ {
+		j.Sample(10 * time.Microsecond)
+	}
+	j.Sample(170 * time.Microsecond) // deviation 160µs → +10µs
+	if got := j.Value(); got < 9*time.Microsecond || got > 11*time.Microsecond {
+		t.Fatalf("jitter after one outlier = %v, want ≈10µs", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(125_000_000, time.Second); got != 1e9 {
+		t.Fatalf("Throughput = %v, want 1 Gbit/s", got)
+	}
+	if got := Throughput(1000, 0); got != 0 {
+		t.Fatalf("zero-interval throughput = %v, want 0", got)
+	}
+	if got := Mbps(250e6); got != 250 {
+		t.Fatalf("Mbps = %v, want 250", got)
+	}
+}

@@ -1,0 +1,103 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"netco/internal/sim"
+)
+
+func TestProcHysteresisBurstDrops(t *testing.T) {
+	sched := sim.NewScheduler()
+	p := NewProc(sched, 10*time.Microsecond, 8)
+	p.SetHysteresis(true)
+
+	// Fill the queue completely.
+	accepted := 0
+	for i := 0; i < 8; i++ {
+		if p.Submit(func() {}) {
+			accepted++
+		}
+	}
+	if accepted != 8 {
+		t.Fatalf("accepted %d of 8 into an empty queue", accepted)
+	}
+	// Overflow trips the drop state.
+	if p.Submit(func() {}) {
+		t.Fatal("9th submission accepted into a full queue")
+	}
+	// Drain one slot: without hysteresis this would be accepted; with
+	// it the proc keeps dropping until half empty.
+	sched.Step() // one service completes
+	if p.Submit(func() {}) {
+		t.Fatal("submission accepted while still draining above low water")
+	}
+	// Drain to half (4 left): submissions resume.
+	for p.Backlog() > 4 {
+		sched.Step()
+	}
+	if !p.Submit(func() {}) {
+		t.Fatal("submission rejected after draining to the low-water mark")
+	}
+}
+
+func TestProcNoHysteresisAcceptsImmediately(t *testing.T) {
+	sched := sim.NewScheduler()
+	p := NewProc(sched, 10*time.Microsecond, 8)
+	for i := 0; i < 8; i++ {
+		p.Submit(func() {})
+	}
+	if p.Submit(func() {}) {
+		t.Fatal("overflow accepted")
+	}
+	sched.Step()
+	if !p.Submit(func() {}) {
+		t.Fatal("plain tail-drop queue rejected a submission after one drain")
+	}
+}
+
+// TestProcHysteresisCorrelatesDrops is the combiner-relevant property:
+// when k copies of each item arrive back-to-back under overload, whole
+// groups are dropped or kept together, rather than one copy of each.
+func TestProcHysteresisCorrelatesDrops(t *testing.T) {
+	sched := sim.NewScheduler()
+	p := NewProc(sched, 15*time.Microsecond, 64)
+	p.SetHysteresis(true)
+
+	const k = 3
+	const groups = 2000
+	kept := make([]int, groups)
+	// Offered: one group of 3 copies every 25 µs (120 kcopies/s) vs
+	// ~66 kcopies/s service: heavy overload.
+	for g := 0; g < groups; g++ {
+		g := g
+		sched.At(time.Duration(g)*25*time.Microsecond, func() {
+			for c := 0; c < k; c++ {
+				if p.Submit(func() {}) {
+					kept[g]++
+				}
+			}
+		})
+	}
+	sched.Run()
+
+	full, partial, lost := 0, 0, 0
+	for _, n := range kept {
+		switch n {
+		case k:
+			full++
+		case 0:
+			lost++
+		default:
+			partial++
+		}
+	}
+	if full == 0 || lost == 0 {
+		t.Fatalf("expected both surviving and lost groups; full=%d partial=%d lost=%d", full, partial, lost)
+	}
+	// The point of hysteresis: partially-delivered groups are the rare
+	// boundary cases, not the norm.
+	if partial > (full+lost)/4 {
+		t.Fatalf("drops not correlated: full=%d partial=%d lost=%d", full, partial, lost)
+	}
+}

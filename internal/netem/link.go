@@ -1,0 +1,144 @@
+// Package netem is the discrete-event network emulator the NetCo
+// reproduction runs on: the stand-in for the paper's Mininet testbed.
+//
+// It models the three resources that shape every number in the paper's
+// evaluation:
+//
+//   - link serialisation (bandwidth) including Ethernet framing overhead,
+//   - propagation delay and drop-tail queueing, and
+//   - per-node packet processing cost and capacity (Proc), which is how the
+//     compare element's CPU cost and a host's ingest limit are expressed.
+//
+// All activity is scheduled on a sim.Scheduler, so experiments are
+// deterministic and run in virtual time.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// Receiver is anything that can accept a packet on a numbered port: a
+// switch, a host, a hub, or the compare element.
+type Receiver interface {
+	// Name identifies the node in traces and error messages.
+	Name() string
+	// Receive delivers pkt arriving on the given local port.
+	Receive(port int, pkt *packet.Packet)
+}
+
+// LinkConfig describes one duplex link.
+type LinkConfig struct {
+	// Bandwidth is the line rate in bits per second. Zero means
+	// infinitely fast (no serialisation delay).
+	Bandwidth float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueLimit is the transmit queue capacity in packets for each
+	// direction; the packet being serialised occupies one slot. Zero
+	// means unbounded.
+	QueueLimit int
+}
+
+// LinkStats counts traffic for one direction of a link.
+type LinkStats struct {
+	TxPackets uint64
+	TxBytes   uint64
+	Drops     uint64
+}
+
+type attachment struct {
+	recv Receiver
+	port int
+}
+
+type linkDir struct {
+	busyUntil time.Duration
+	queued    int
+	stats     LinkStats
+}
+
+// Link is a duplex point-to-point link. Each direction has independent
+// serialisation state and a drop-tail queue, like a veth pair with tc
+// netem/tbf attached in the paper's Mininet setup.
+type Link struct {
+	name  string
+	sched *sim.Scheduler
+	cfg   LinkConfig
+	ends  [2]attachment
+	dirs  [2]linkDir
+
+	down bool
+}
+
+// NewLink creates an unattached link. Most callers use Connect instead.
+func NewLink(sched *sim.Scheduler, name string, cfg LinkConfig) *Link {
+	return &Link{name: name, sched: sched, cfg: cfg}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Attach binds one end of the link to a receiver port. end is 0 or 1.
+func (l *Link) Attach(end int, r Receiver, port int) {
+	l.ends[end] = attachment{recv: r, port: port}
+}
+
+// Peer returns the receiver attached at the far side from end.
+func (l *Link) Peer(end int) (Receiver, int) {
+	a := l.ends[1-end]
+	return a.recv, a.port
+}
+
+// SetDown administratively disables the link: all sends are dropped. Used
+// by fault-injection tests and the compare's port-blocking response.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Stats returns the counters for the direction transmitting from end.
+func (l *Link) Stats(end int) LinkStats { return l.dirs[end].stats }
+
+// Send transmits pkt from the given end toward the peer, modelling
+// serialisation, queueing and propagation. It reports whether the packet
+// was accepted (false = tail drop or link down). The caller must not
+// mutate pkt after sending; forwarding elements that need to alter a
+// packet send a Clone.
+func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
+	d := &l.dirs[fromEnd]
+	if l.down {
+		d.stats.Drops++
+		return false
+	}
+	dst := l.ends[1-fromEnd]
+	if dst.recv == nil {
+		panic(fmt.Sprintf("netem: link %s end %d has no peer", l.name, 1-fromEnd))
+	}
+	if l.cfg.QueueLimit > 0 && d.queued >= l.cfg.QueueLimit {
+		d.stats.Drops++
+		return false
+	}
+
+	now := l.sched.Now()
+	var txTime time.Duration
+	if l.cfg.Bandwidth > 0 {
+		bits := float64(pkt.WireLen()+packet.FrameOverhead) * 8
+		txTime = time.Duration(bits / l.cfg.Bandwidth * float64(time.Second))
+	}
+	start := now
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	finish := start + txTime
+	d.busyUntil = finish
+	d.queued++
+	d.stats.TxPackets++
+	d.stats.TxBytes += uint64(pkt.WireLen())
+
+	l.sched.At(finish, func() { d.queued-- })
+	l.sched.At(finish+l.cfg.Delay, func() {
+		dst.recv.Receive(dst.port, pkt)
+	})
+	return true
+}

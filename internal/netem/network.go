@@ -1,0 +1,110 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// Node is a network element that owns a set of numbered ports. All switch,
+// host, hub and compare implementations satisfy it.
+type Node interface {
+	Receiver
+	// Ports returns the node's port table, used by Connect to bind links.
+	Ports() *Ports
+}
+
+// Ports is the port table a Node embeds (as a named field) to send packets
+// out of numbered ports. The zero value is ready to use.
+type Ports struct {
+	byIdx map[int]portRef
+}
+
+type portRef struct {
+	link *Link
+	end  int
+}
+
+// Bind associates local port idx with one end of a link. Bind panics on
+// double-binding, which is always a topology-construction bug.
+func (ps *Ports) Bind(idx int, l *Link, end int) {
+	if ps.byIdx == nil {
+		ps.byIdx = make(map[int]portRef)
+	}
+	if _, dup := ps.byIdx[idx]; dup {
+		panic(fmt.Sprintf("netem: port %d bound twice", idx))
+	}
+	ps.byIdx[idx] = portRef{link: l, end: end}
+}
+
+// Send transmits pkt out of local port idx. It reports whether the packet
+// was accepted by the link (false on tail drop, link down, or unbound
+// port).
+func (ps *Ports) Send(idx int, pkt *packet.Packet) bool {
+	ref, ok := ps.byIdx[idx]
+	if !ok {
+		return false
+	}
+	return ref.link.Send(ref.end, pkt)
+}
+
+// Link returns the link bound to port idx, or nil.
+func (ps *Ports) Link(idx int) *Link {
+	return ps.byIdx[idx].link
+}
+
+// Count returns the number of bound ports.
+func (ps *Ports) Count() int { return len(ps.byIdx) }
+
+// List returns the bound port indices in ascending order.
+func (ps *Ports) List() []int {
+	out := make([]int, 0, len(ps.byIdx))
+	for idx := range ps.byIdx {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Network owns a simulation's nodes and links and provides topology
+// assembly helpers.
+type Network struct {
+	Sched *sim.Scheduler
+
+	nodes map[string]Node
+	links []*Link
+}
+
+// New creates an empty network on the given scheduler.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{Sched: sched, nodes: make(map[string]Node)}
+}
+
+// Add registers a node. It panics on duplicate names — a topology bug.
+func (n *Network) Add(node Node) {
+	if _, dup := n.nodes[node.Name()]; dup {
+		panic(fmt.Sprintf("netem: node %q added twice", node.Name()))
+	}
+	n.nodes[node.Name()] = node
+}
+
+// NodeByName returns a registered node, or nil.
+func (n *Network) NodeByName(name string) Node { return n.nodes[name] }
+
+// Links returns all links created through Connect, in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Connect creates a duplex link between a's port aPort and b's port bPort
+// and binds both ends.
+func (n *Network) Connect(a Node, aPort int, b Node, bPort int, cfg LinkConfig) *Link {
+	name := fmt.Sprintf("%s:%d<->%s:%d", a.Name(), aPort, b.Name(), bPort)
+	l := NewLink(n.Sched, name, cfg)
+	l.Attach(0, a, aPort)
+	l.Attach(1, b, bPort)
+	a.Ports().Bind(aPort, l, 0)
+	b.Ports().Bind(bPort, l, 1)
+	n.links = append(n.links, l)
+	return l
+}

@@ -1,0 +1,114 @@
+package netem
+
+import (
+	"time"
+
+	"netco/internal/sim"
+)
+
+// ProcStats counts work handled by a Proc.
+type ProcStats struct {
+	Processed uint64
+	Dropped   uint64
+}
+
+// Proc models a packet-processing resource with a fixed per-item cost and a
+// bounded input queue: a switch pipeline, a host's receive stack, or the
+// compare element's CPU. Items are served in FIFO order; an item submitted
+// while the queue is full is dropped.
+//
+// Proc is the mechanism behind several of the paper's observations: the
+// compare's per-copy cost bounds Central3/Central5 throughput, and the
+// destination host's ingest capacity is what makes Dup5 slower than Dup3
+// ("packets spend more time buffered on ... the destination host", §V-B).
+type Proc struct {
+	sched *sim.Scheduler
+
+	// PerItem is the service time per submitted item. Zero means the
+	// Proc is infinitely fast.
+	perItem time.Duration
+	// queueLimit bounds the number of items waiting or in service;
+	// zero means unbounded.
+	queueLimit int
+
+	// hysteresis, when set, makes overflow sticky: once the queue
+	// fills, everything is dropped until it drains to half capacity —
+	// the burst-drop behaviour of a NIC ring serviced by a polling
+	// driver. Burst drops are what correlate the losses of a packet's k
+	// combiner copies at an overloaded destination host.
+	hysteresis bool
+	dropping   bool
+
+	busyUntil time.Duration
+	queued    int
+	stats     ProcStats
+	paused    time.Duration
+}
+
+// NewProc returns a processing resource. perItem is the service time per
+// item (zero = infinitely fast); queueLimit bounds the queue (zero =
+// unbounded).
+func NewProc(sched *sim.Scheduler, perItem time.Duration, queueLimit int) *Proc {
+	return &Proc{sched: sched, perItem: perItem, queueLimit: queueLimit}
+}
+
+// Stats returns the counters so far.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// Backlog returns the number of items waiting or in service.
+func (p *Proc) Backlog() int { return p.queued }
+
+// Stall makes the resource unavailable for d beyond its current horizon.
+// The compare element uses this to model cache-cleanup pauses, the
+// mechanism behind the paper's jitter result (Fig. 8).
+func (p *Proc) Stall(d time.Duration) {
+	now := p.sched.Now()
+	if p.busyUntil < now {
+		p.busyUntil = now
+	}
+	p.busyUntil += d
+	p.paused += d
+}
+
+// Submit enqueues work that runs fn after the item reaches the head of the
+// queue and is serviced. It reports whether the item was accepted.
+func (p *Proc) Submit(fn func()) bool {
+	return p.SubmitCost(p.perItem, fn)
+}
+
+// SetHysteresis enables ring-buffer-style overflow: after the queue
+// fills, all submissions are dropped until it drains below half capacity.
+func (p *Proc) SetHysteresis(on bool) { p.hysteresis = on }
+
+// SubmitCost is Submit with an explicit service time for this item,
+// overriding the default. Used for size-dependent costs.
+func (p *Proc) SubmitCost(cost time.Duration, fn func()) bool {
+	if p.queueLimit > 0 {
+		if p.queued >= p.queueLimit {
+			p.dropping = p.hysteresis
+			p.stats.Dropped++
+			return false
+		}
+		if p.dropping {
+			if p.queued > p.queueLimit/2 {
+				p.stats.Dropped++
+				return false
+			}
+			p.dropping = false
+		}
+	}
+	now := p.sched.Now()
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	finish := start + cost
+	p.busyUntil = finish
+	p.queued++
+	p.sched.At(finish, func() {
+		p.queued--
+		p.stats.Processed++
+		fn()
+	})
+	return true
+}

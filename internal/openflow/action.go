@@ -1,0 +1,182 @@
+package openflow
+
+import (
+	"fmt"
+
+	"netco/internal/packet"
+)
+
+// Reserved output port numbers (ofp_port).
+const (
+	PortMax        uint16 = 0xff00
+	PortInPort     uint16 = 0xfff8
+	PortTable      uint16 = 0xfff9
+	PortNormal     uint16 = 0xfffa
+	PortFlood      uint16 = 0xfffb
+	PortAll        uint16 = 0xfffc
+	PortController uint16 = 0xfffd
+	PortLocal      uint16 = 0xfffe
+	PortNone       uint16 = 0xffff
+)
+
+// ActionType enumerates the OpenFlow 1.0 action subset implemented here.
+type ActionType uint16
+
+// Action types, with their ofp_action_type wire values.
+const (
+	ActionOutput     ActionType = 0
+	ActionSetVLANVID ActionType = 1
+	ActionSetVLANPCP ActionType = 2
+	ActionStripVLAN  ActionType = 3
+	ActionSetDlSrc   ActionType = 4
+	ActionSetDlDst   ActionType = 5
+	ActionSetNwSrc   ActionType = 6
+	ActionSetNwDst   ActionType = 7
+	ActionSetNwTOS   ActionType = 8
+	ActionSetTpSrc   ActionType = 9
+	ActionSetTpDst   ActionType = 10
+)
+
+// Action is a single OpenFlow action. Which fields are meaningful depends
+// on Type, mirroring the variant encoding of ofp_action_*. An empty action
+// list means drop.
+type Action struct {
+	Type ActionType
+
+	Port   uint16        // Output
+	MaxLen uint16        // Output to controller: bytes to include
+	MAC    packet.MAC    // SetDlSrc / SetDlDst
+	IP     packet.IPAddr // SetNwSrc / SetNwDst
+	VLAN   uint16        // SetVLANVID
+	PCP    uint8         // SetVLANPCP
+	TOS    uint8         // SetNwTOS
+	TpPort uint16        // SetTpSrc / SetTpDst
+}
+
+// Output returns an output-to-port action.
+func Output(port uint16) Action { return Action{Type: ActionOutput, Port: port} }
+
+// OutputController returns an output-to-controller action carrying at most
+// maxLen bytes of the packet.
+func OutputController(maxLen uint16) Action {
+	return Action{Type: ActionOutput, Port: PortController, MaxLen: maxLen}
+}
+
+// SetVLANVID returns an action that tags the frame with the VLAN ID.
+func SetVLANVID(vid uint16) Action { return Action{Type: ActionSetVLANVID, VLAN: vid} }
+
+// SetVLANPCP returns an action that sets the VLAN priority.
+func SetVLANPCP(pcp uint8) Action { return Action{Type: ActionSetVLANPCP, PCP: pcp} }
+
+// StripVLAN returns an action that removes any VLAN tag.
+func StripVLAN() Action { return Action{Type: ActionStripVLAN} }
+
+// SetDlSrc returns an action that rewrites the Ethernet source.
+func SetDlSrc(mac packet.MAC) Action { return Action{Type: ActionSetDlSrc, MAC: mac} }
+
+// SetDlDst returns an action that rewrites the Ethernet destination.
+func SetDlDst(mac packet.MAC) Action { return Action{Type: ActionSetDlDst, MAC: mac} }
+
+// SetNwSrc returns an action that rewrites the IPv4 source.
+func SetNwSrc(ip packet.IPAddr) Action { return Action{Type: ActionSetNwSrc, IP: ip} }
+
+// SetNwDst returns an action that rewrites the IPv4 destination.
+func SetNwDst(ip packet.IPAddr) Action { return Action{Type: ActionSetNwDst, IP: ip} }
+
+// SetNwTOS returns an action that rewrites the IP TOS byte.
+func SetNwTOS(tos uint8) Action { return Action{Type: ActionSetNwTOS, TOS: tos} }
+
+// SetTpSrc returns an action that rewrites the transport source port.
+func SetTpSrc(p uint16) Action { return Action{Type: ActionSetTpSrc, TpPort: p} }
+
+// SetTpDst returns an action that rewrites the transport destination port.
+func SetTpDst(p uint16) Action { return Action{Type: ActionSetTpDst, TpPort: p} }
+
+// ApplyHeader applies a header-rewriting action to pkt in place. Output
+// actions are a no-op here; the switch data plane interprets them.
+func ApplyHeader(a Action, pkt *packet.Packet) {
+	switch a.Type {
+	case ActionSetVLANVID:
+		if pkt.Eth.VLAN == nil {
+			pkt.Eth.VLAN = &packet.VLANTag{}
+		}
+		pkt.Eth.VLAN.VID = a.VLAN & 0x0fff
+	case ActionSetVLANPCP:
+		if pkt.Eth.VLAN == nil {
+			pkt.Eth.VLAN = &packet.VLANTag{}
+		}
+		pkt.Eth.VLAN.PCP = a.PCP & 0x7
+	case ActionStripVLAN:
+		pkt.Eth.VLAN = nil
+	case ActionSetDlSrc:
+		pkt.Eth.Src = a.MAC
+	case ActionSetDlDst:
+		pkt.Eth.Dst = a.MAC
+	case ActionSetNwSrc:
+		if pkt.IP != nil {
+			pkt.IP.Src = a.IP
+		}
+	case ActionSetNwDst:
+		if pkt.IP != nil {
+			pkt.IP.Dst = a.IP
+		}
+	case ActionSetNwTOS:
+		if pkt.IP != nil {
+			pkt.IP.TOS = a.TOS &^ 0x3
+		}
+	case ActionSetTpSrc:
+		switch {
+		case pkt.TCP != nil:
+			pkt.TCP.SrcPort = a.TpPort
+		case pkt.UDP != nil:
+			pkt.UDP.SrcPort = a.TpPort
+		}
+	case ActionSetTpDst:
+		switch {
+		case pkt.TCP != nil:
+			pkt.TCP.DstPort = a.TpPort
+		case pkt.UDP != nil:
+			pkt.UDP.DstPort = a.TpPort
+		}
+	}
+}
+
+// String renders the action for diagnostics.
+func (a Action) String() string {
+	switch a.Type {
+	case ActionOutput:
+		switch a.Port {
+		case PortController:
+			return "output:CONTROLLER"
+		case PortFlood:
+			return "output:FLOOD"
+		case PortAll:
+			return "output:ALL"
+		case PortInPort:
+			return "output:IN_PORT"
+		default:
+			return fmt.Sprintf("output:%d", a.Port)
+		}
+	case ActionSetVLANVID:
+		return fmt.Sprintf("set_vlan_vid:%d", a.VLAN)
+	case ActionSetVLANPCP:
+		return fmt.Sprintf("set_vlan_pcp:%d", a.PCP)
+	case ActionStripVLAN:
+		return "strip_vlan"
+	case ActionSetDlSrc:
+		return "set_dl_src:" + a.MAC.String()
+	case ActionSetDlDst:
+		return "set_dl_dst:" + a.MAC.String()
+	case ActionSetNwSrc:
+		return "set_nw_src:" + a.IP.String()
+	case ActionSetNwDst:
+		return "set_nw_dst:" + a.IP.String()
+	case ActionSetNwTOS:
+		return fmt.Sprintf("set_nw_tos:%d", a.TOS)
+	case ActionSetTpSrc:
+		return fmt.Sprintf("set_tp_src:%d", a.TpPort)
+	case ActionSetTpDst:
+		return fmt.Sprintf("set_tp_dst:%d", a.TpPort)
+	}
+	return fmt.Sprintf("unknown(%d)", a.Type)
+}

@@ -1,0 +1,174 @@
+package openflow
+
+import (
+	"sort"
+	"time"
+
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// FlowEntry is one rule in a flow table.
+type FlowEntry struct {
+	Priority uint16
+	Match    Match
+	Actions  []Action
+	Cookie   uint64
+
+	// IdleTimeout evicts the entry after this long without a matching
+	// packet; HardTimeout evicts it unconditionally. Zero disables.
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+
+	// Counters.
+	Packets uint64
+	Bytes   uint64
+
+	installed time.Duration
+	lastUsed  time.Duration
+	seq       uint64
+}
+
+// Duration returns how long the entry has been installed.
+func (e *FlowEntry) Duration(now time.Duration) time.Duration { return now - e.installed }
+
+// RemovedReason says why a flow entry left the table (ofp_flow_removed_reason).
+type RemovedReason uint8
+
+// Flow removal reasons.
+const (
+	RemovedIdleTimeout RemovedReason = 0
+	RemovedHardTimeout RemovedReason = 1
+	RemovedDelete      RemovedReason = 2
+)
+
+// FlowTable is a priority-ordered OpenFlow 1.0 flow table with lazy
+// timeout expiry.
+type FlowTable struct {
+	sched   *sim.Scheduler
+	entries []*FlowEntry
+	seq     uint64
+
+	// OnRemoved, when non-nil, is invoked for every entry leaving the
+	// table (the hook the switch uses to emit FlowRemoved messages).
+	OnRemoved func(e *FlowEntry, reason RemovedReason)
+
+	// Misses counts lookups that matched no entry.
+	Misses uint64
+}
+
+// NewFlowTable returns an empty table bound to the scheduler's clock.
+func NewFlowTable(sched *sim.Scheduler) *FlowTable {
+	return &FlowTable{sched: sched}
+}
+
+// Len returns the number of installed entries.
+func (t *FlowTable) Len() int { return len(t.entries) }
+
+// Entries returns a snapshot of the installed entries in lookup order.
+func (t *FlowTable) Entries() []*FlowEntry {
+	out := make([]*FlowEntry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// Add installs an entry. An entry with an identical match and priority
+// replaces the existing one, keeping its counters at zero (OFPFC_ADD
+// semantics without OFPFF_CHECK_OVERLAP).
+func (t *FlowTable) Add(e *FlowEntry) {
+	now := t.sched.Now()
+	e.installed = now
+	e.lastUsed = now
+	e.seq = t.seq
+	t.seq++
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match == e.Match {
+			t.entries[i] = e
+			return
+		}
+	}
+	t.entries = append(t.entries, e)
+	// Highest priority first; ties broken by insertion order for
+	// determinism.
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		return t.entries[i].Priority > t.entries[j].Priority
+	})
+}
+
+// Delete removes entries. With strict set, only an exact match+priority
+// entry is removed; otherwise every entry whose match is subsumed by m is
+// removed (OFPFC_DELETE semantics). outPort, when not PortNone, restricts
+// deletion to entries with an output action to that port.
+func (t *FlowTable) Delete(m Match, priority uint16, strict bool, outPort uint16) int {
+	removed := 0
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		del := false
+		if strict {
+			del = e.Priority == priority && e.Match == m
+		} else {
+			del = m.Subsumes(e.Match)
+		}
+		if del && outPort != PortNone {
+			del = false
+			for _, a := range e.Actions {
+				if a.Type == ActionOutput && a.Port == outPort {
+					del = true
+					break
+				}
+			}
+		}
+		if del {
+			removed++
+			if t.OnRemoved != nil {
+				t.OnRemoved(e, RemovedDelete)
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return removed
+}
+
+// Lookup returns the highest-priority entry matching the packet, updating
+// its counters and idle timer, after expiring any timed-out entries. It
+// returns nil on a table miss.
+func (t *FlowTable) Lookup(inPort uint16, pkt *packet.Packet) *FlowEntry {
+	t.expire()
+	for _, e := range t.entries {
+		if e.Match.Matches(inPort, pkt) {
+			e.Packets++
+			e.Bytes += uint64(pkt.WireLen())
+			e.lastUsed = t.sched.Now()
+			return e
+		}
+	}
+	t.Misses++
+	return nil
+}
+
+// expire lazily removes entries whose idle or hard timeout has elapsed.
+func (t *FlowTable) expire() {
+	now := t.sched.Now()
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		switch {
+		case e.HardTimeout > 0 && now-e.installed >= e.HardTimeout:
+			if t.OnRemoved != nil {
+				t.OnRemoved(e, RemovedHardTimeout)
+			}
+		case e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout:
+			if t.OnRemoved != nil {
+				t.OnRemoved(e, RemovedIdleTimeout)
+			}
+		default:
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+}
+
+// Sweep forces timeout expiry now; switches call it periodically so that
+// FlowRemoved messages are not delayed until the next lookup.
+func (t *FlowTable) Sweep() { t.expire() }

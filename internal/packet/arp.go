@@ -1,0 +1,86 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP operations.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an Ethernet/IPv4 ARP message (RFC 826), carried as the payload
+// of an EtherTypeARP frame. Hosts use it to resolve IP addresses to MAC
+// addresses; the SDN substrate floods the requests like any L2 fabric.
+type ARP struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  IPAddr
+	TargetMAC MAC
+	TargetIP  IPAddr
+}
+
+// arpWireLen is the Ethernet/IPv4 ARP body length.
+const arpWireLen = 28
+
+// MarshalARP serialises the message body.
+func MarshalARP(a ARP) []byte {
+	b := make([]byte, arpWireLen)
+	binary.BigEndian.PutUint16(b[0:2], 1)      // htype: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // ptype: IPv4
+	b[4] = 6                                   // hlen
+	b[5] = 4                                   // plen
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderMAC[:])
+	copy(b[14:18], a.SenderIP[:])
+	copy(b[18:24], a.TargetMAC[:])
+	copy(b[24:28], a.TargetIP[:])
+	return b
+}
+
+// ParseARP parses an ARP body.
+func ParseARP(b []byte) (ARP, error) {
+	var a ARP
+	if len(b) < arpWireLen {
+		return a, fmt.Errorf("%w: arp body (%d bytes)", ErrTruncated, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != 1 || binary.BigEndian.Uint16(b[2:4]) != 0x0800 ||
+		b[4] != 6 || b[5] != 4 {
+		return a, fmt.Errorf("%w: arp hardware/protocol types", ErrBadHeader)
+	}
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}
+
+// NewARPRequest builds a broadcast who-has frame.
+func NewARPRequest(sender Endpoint, targetIP IPAddr) *Packet {
+	return &Packet{
+		Eth: Ethernet{Dst: Broadcast, Src: sender.MAC, EtherType: EtherTypeARP},
+		Payload: MarshalARP(ARP{
+			Op:        ARPRequest,
+			SenderMAC: sender.MAC,
+			SenderIP:  sender.IP,
+			TargetIP:  targetIP,
+		}),
+	}
+}
+
+// NewARPReply builds a unicast is-at frame answering req.
+func NewARPReply(sender Endpoint, req ARP) *Packet {
+	return &Packet{
+		Eth: Ethernet{Dst: req.SenderMAC, Src: sender.MAC, EtherType: EtherTypeARP},
+		Payload: MarshalARP(ARP{
+			Op:        ARPReply,
+			SenderMAC: sender.MAC,
+			SenderIP:  sender.IP,
+			TargetMAC: req.SenderMAC,
+			TargetIP:  req.SenderIP,
+		}),
+	}
+}

@@ -1,0 +1,72 @@
+package packet
+
+// Endpoint identifies one side of an emulated conversation.
+type Endpoint struct {
+	MAC  MAC
+	IP   IPAddr
+	Port uint16
+}
+
+// NewUDP builds a UDP datagram from src to dst carrying payload.
+func NewUDP(src, dst Endpoint, payload []byte) *Packet {
+	return &Packet{
+		Eth: Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4},
+		IP: &IPv4{
+			TTL:      64,
+			Protocol: ProtoUDP,
+			Src:      src.IP,
+			Dst:      dst.IP,
+		},
+		UDP:     &UDP{SrcPort: src.Port, DstPort: dst.Port},
+		Payload: payload,
+	}
+}
+
+// NewTCP builds a TCP segment from src to dst.
+func NewTCP(src, dst Endpoint, seq, ack uint32, flags uint8, window uint16, payload []byte) *Packet {
+	return &Packet{
+		Eth: Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4},
+		IP: &IPv4{
+			TTL:      64,
+			Protocol: ProtoTCP,
+			Src:      src.IP,
+			Dst:      dst.IP,
+		},
+		TCP: &TCP{
+			SrcPort: src.Port,
+			DstPort: dst.Port,
+			Seq:     seq,
+			Ack:     ack,
+			Flags:   flags,
+			Window:  window,
+		},
+		Payload: payload,
+	}
+}
+
+// NewICMPEcho builds an ICMP echo request (or reply, per typ) from src to
+// dst. src.Port and dst.Port are ignored.
+func NewICMPEcho(src, dst Endpoint, typ uint8, id, seq uint16, payload []byte) *Packet {
+	return &Packet{
+		Eth: Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4},
+		IP: &IPv4{
+			TTL:      64,
+			Protocol: ProtoICMP,
+			Src:      src.IP,
+			Dst:      dst.IP,
+		},
+		ICMP:    &ICMP{Type: typ, ID: id, Seq: seq},
+		Payload: payload,
+	}
+}
+
+// EchoReply derives the matching echo reply for a received echo request:
+// L2/L3 addresses swapped, type flipped, ID/Seq/payload preserved.
+func EchoReply(req *Packet) *Packet {
+	rep := req.Clone()
+	rep.Eth.Src, rep.Eth.Dst = req.Eth.Dst, req.Eth.Src
+	rep.IP.Src, rep.IP.Dst = req.IP.Dst, req.IP.Src
+	rep.ICMP.Type = ICMPEchoReply
+	rep.IP.TTL = 64
+	return rep
+}

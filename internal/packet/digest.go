@@ -1,0 +1,70 @@
+package packet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Digest is a fixed-size fingerprint of a frame, used by the compare
+// element to bucket candidate copies before byte-exact verification.
+type Digest [sha256.Size]byte
+
+// DigestBytes fingerprints a wire-form frame.
+func DigestBytes(b []byte) Digest {
+	return sha256.Sum256(b)
+}
+
+// FastKey is a cheap 64-bit bucketing key over a frame. The compare uses it
+// as the map key and then confirms candidates byte-for-byte, so FNV
+// collisions cost a comparison, never correctness.
+func FastKey(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// HeaderKey fingerprints only the L2–L4 headers of a frame (everything up
+// to the transport payload). It implements the paper's "compared ... just
+// based on the header" mode: cheaper, but blind to payload tampering.
+func HeaderKey(p *Packet) uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	_, _ = h.Write(p.Eth.Dst[:])
+	_, _ = h.Write(p.Eth.Src[:])
+	if p.Eth.VLAN != nil {
+		binary.BigEndian.PutUint16(scratch[:2], p.Eth.VLAN.VID|uint16(p.Eth.VLAN.PCP)<<13)
+		_, _ = h.Write(scratch[:2])
+	}
+	binary.BigEndian.PutUint16(scratch[:2], p.Eth.EtherType)
+	_, _ = h.Write(scratch[:2])
+	if p.IP != nil {
+		_, _ = h.Write(p.IP.Src[:])
+		_, _ = h.Write(p.IP.Dst[:])
+		_, _ = h.Write([]byte{p.IP.Protocol, p.IP.TOS, p.IP.TTL})
+		binary.BigEndian.PutUint16(scratch[:2], p.IP.ID)
+		_, _ = h.Write(scratch[:2])
+	}
+	switch {
+	case p.TCP != nil:
+		binary.BigEndian.PutUint16(scratch[0:2], p.TCP.SrcPort)
+		binary.BigEndian.PutUint16(scratch[2:4], p.TCP.DstPort)
+		binary.BigEndian.PutUint32(scratch[4:8], p.TCP.Seq)
+		_, _ = h.Write(scratch[:8])
+		binary.BigEndian.PutUint32(scratch[0:4], p.TCP.Ack)
+		scratch[4] = p.TCP.Flags
+		_, _ = h.Write(scratch[:5])
+	case p.UDP != nil:
+		binary.BigEndian.PutUint16(scratch[0:2], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(scratch[2:4], p.UDP.DstPort)
+		binary.BigEndian.PutUint16(scratch[4:6], uint16(len(p.Payload)))
+		_, _ = h.Write(scratch[:6])
+	case p.ICMP != nil:
+		scratch[0] = p.ICMP.Type
+		scratch[1] = p.ICMP.Code
+		binary.BigEndian.PutUint16(scratch[2:4], p.ICMP.ID)
+		binary.BigEndian.PutUint16(scratch[4:6], p.ICMP.Seq)
+		_, _ = h.Write(scratch[:6])
+	}
+	return h.Sum64()
+}

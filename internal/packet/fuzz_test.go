@@ -1,0 +1,56 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanics: the parser faces frames crafted by
+// adversarial routers; it must reject garbage gracefully.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Unmarshal panicked on %x: %v", b, r)
+			}
+		}()
+		if p, err := Unmarshal(b); err == nil {
+			// Anything accepted must survive re-marshalling.
+			p.Marshal()
+			_ = p.String()
+			_ = p.WireLen()
+			p.Clone()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalMutatedValidNeverPanics flips bits in valid frames.
+func TestUnmarshalMutatedValidNeverPanics(t *testing.T) {
+	src := Endpoint{MAC: HostMAC(1), IP: HostIP(1), Port: 9}
+	dst := Endpoint{MAC: HostMAC(2), IP: HostIP(2), Port: 10}
+	seeds := [][]byte{
+		NewUDP(src, dst, []byte("payload")).Marshal(),
+		NewTCP(src, dst, 1, 2, TCPAck, 100, []byte("data")).Marshal(),
+		NewICMPEcho(src, dst, ICMPEchoRequest, 1, 2, []byte("ping")).Marshal(),
+	}
+	for _, seed := range seeds {
+		for offset := 0; offset < len(seed); offset++ {
+			for _, bit := range []byte{0x01, 0x80} {
+				b := append([]byte(nil), seed...)
+				b[offset] ^= bit
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("Unmarshal panicked at offset %d: %v", offset, r)
+						}
+					}()
+					_, _ = Unmarshal(b)
+				}()
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Marshalling errors a caller may want to match.
+var (
+	ErrTruncated   = errors.New("packet: truncated frame")
+	ErrBadChecksum = errors.New("packet: checksum mismatch")
+	ErrBadHeader   = errors.New("packet: malformed header")
+)
+
+// Marshal serialises the packet to its wire form. Length fields and
+// checksums (IPv4 header, TCP, UDP, ICMP) are computed here, so callers can
+// freely mutate header fields and re-marshal.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, p.WireLen())
+
+	// Ethernet.
+	buf = append(buf, p.Eth.Dst[:]...)
+	buf = append(buf, p.Eth.Src[:]...)
+	if p.Eth.VLAN != nil {
+		buf = binary.BigEndian.AppendUint16(buf, EtherTypeVLAN)
+		tci := uint16(p.Eth.VLAN.PCP&0x7)<<13 | p.Eth.VLAN.VID&0x0fff
+		buf = binary.BigEndian.AppendUint16(buf, tci)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, p.Eth.EtherType)
+
+	if p.IP == nil {
+		return append(buf, p.Payload...)
+	}
+
+	// IPv4 (IHL = 5, no options).
+	l4len := len(p.Payload)
+	switch {
+	case p.TCP != nil:
+		l4len += 20
+	case p.UDP != nil:
+		l4len += 8
+	case p.ICMP != nil:
+		l4len += 8
+	}
+	total := 20 + l4len
+	ipStart := len(buf)
+	buf = append(buf, 0x45, p.IP.TOS)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(total))
+	buf = binary.BigEndian.AppendUint16(buf, p.IP.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.IP.Flags&0x7)<<13|p.IP.FragOff&0x1fff)
+	buf = append(buf, p.IP.TTL, p.IP.Protocol, 0, 0) // checksum placeholder
+	buf = append(buf, p.IP.Src[:]...)
+	buf = append(buf, p.IP.Dst[:]...)
+	ipSum := checksum(buf[ipStart:], 0)
+	binary.BigEndian.PutUint16(buf[ipStart+10:], ipSum)
+
+	switch {
+	case p.TCP != nil:
+		t := p.TCP
+		l4 := len(buf)
+		buf = binary.BigEndian.AppendUint16(buf, t.SrcPort)
+		buf = binary.BigEndian.AppendUint16(buf, t.DstPort)
+		buf = binary.BigEndian.AppendUint32(buf, t.Seq)
+		buf = binary.BigEndian.AppendUint32(buf, t.Ack)
+		buf = append(buf, 5<<4, t.Flags)
+		buf = binary.BigEndian.AppendUint16(buf, t.Window)
+		buf = append(buf, 0, 0) // checksum placeholder
+		buf = binary.BigEndian.AppendUint16(buf, t.Urgent)
+		buf = append(buf, p.Payload...)
+		sum := pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoTCP, buf[l4:])
+		binary.BigEndian.PutUint16(buf[l4+16:], sum)
+	case p.UDP != nil:
+		u := p.UDP
+		l4 := len(buf)
+		buf = binary.BigEndian.AppendUint16(buf, u.SrcPort)
+		buf = binary.BigEndian.AppendUint16(buf, u.DstPort)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(8+len(p.Payload)))
+		buf = append(buf, 0, 0) // checksum placeholder
+		buf = append(buf, p.Payload...)
+		sum := pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoUDP, buf[l4:])
+		if sum == 0 {
+			sum = 0xffff // RFC 768: transmitted zero means "no checksum"
+		}
+		binary.BigEndian.PutUint16(buf[l4+6:], sum)
+	case p.ICMP != nil:
+		ic := p.ICMP
+		l4 := len(buf)
+		buf = append(buf, ic.Type, ic.Code, 0, 0) // checksum placeholder
+		buf = binary.BigEndian.AppendUint16(buf, ic.ID)
+		buf = binary.BigEndian.AppendUint16(buf, ic.Seq)
+		buf = append(buf, p.Payload...)
+		sum := checksum(buf[l4:], 0)
+		binary.BigEndian.PutUint16(buf[l4+2:], sum)
+	default:
+		buf = append(buf, p.Payload...)
+	}
+	return buf
+}
+
+// Unmarshal parses a wire-form frame produced by Marshal (or hand-crafted
+// by an adversary). Checksums are verified; a frame corrupted in flight
+// fails with ErrBadChecksum, which is how honest hosts discard packets an
+// adversarial router has tampered with below the compare's protection.
+func Unmarshal(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if len(b) < 14 {
+		return nil, fmt.Errorf("%w: ethernet header (%d bytes)", ErrTruncated, len(b))
+	}
+	copy(p.Eth.Dst[:], b[0:6])
+	copy(p.Eth.Src[:], b[6:12])
+	et := binary.BigEndian.Uint16(b[12:14])
+	rest := b[14:]
+	if et == EtherTypeVLAN {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: vlan tag", ErrTruncated)
+		}
+		tci := binary.BigEndian.Uint16(rest[0:2])
+		p.Eth.VLAN = &VLANTag{PCP: uint8(tci >> 13), VID: tci & 0x0fff}
+		et = binary.BigEndian.Uint16(rest[2:4])
+		rest = rest[4:]
+	}
+	p.Eth.EtherType = et
+
+	if et != EtherTypeIPv4 {
+		p.Payload = cloneBytes(rest)
+		return p, nil
+	}
+	if len(rest) < 20 {
+		return nil, fmt.Errorf("%w: ipv4 header", ErrTruncated)
+	}
+	if rest[0]>>4 != 4 {
+		return nil, fmt.Errorf("%w: ip version %d", ErrBadHeader, rest[0]>>4)
+	}
+	ihl := int(rest[0]&0x0f) * 4
+	if ihl != 20 {
+		return nil, fmt.Errorf("%w: ip options unsupported (ihl=%d)", ErrBadHeader, ihl)
+	}
+	total := int(binary.BigEndian.Uint16(rest[2:4]))
+	if total < 20 || total > len(rest) {
+		return nil, fmt.Errorf("%w: ip total length %d of %d", ErrTruncated, total, len(rest))
+	}
+	if checksum(rest[:20], 0) != 0 {
+		return nil, fmt.Errorf("%w: ipv4 header", ErrBadChecksum)
+	}
+	fragWord := binary.BigEndian.Uint16(rest[6:8])
+	ip := &IPv4{
+		TOS:      rest[1],
+		ID:       binary.BigEndian.Uint16(rest[4:6]),
+		Flags:    uint8(fragWord >> 13),
+		FragOff:  fragWord & 0x1fff,
+		TTL:      rest[8],
+		Protocol: rest[9],
+	}
+	copy(ip.Src[:], rest[12:16])
+	copy(ip.Dst[:], rest[16:20])
+	p.IP = ip
+	l4 := rest[20:total]
+
+	switch ip.Protocol {
+	case ProtoTCP:
+		if len(l4) < 20 {
+			return nil, fmt.Errorf("%w: tcp header", ErrTruncated)
+		}
+		if off := int(l4[12]>>4) * 4; off != 20 {
+			return nil, fmt.Errorf("%w: tcp options unsupported (offset=%d)", ErrBadHeader, off)
+		}
+		if pseudoChecksum(ip.Src, ip.Dst, ProtoTCP, l4) != 0 {
+			return nil, fmt.Errorf("%w: tcp", ErrBadChecksum)
+		}
+		p.TCP = &TCP{
+			SrcPort: binary.BigEndian.Uint16(l4[0:2]),
+			DstPort: binary.BigEndian.Uint16(l4[2:4]),
+			Seq:     binary.BigEndian.Uint32(l4[4:8]),
+			Ack:     binary.BigEndian.Uint32(l4[8:12]),
+			Flags:   l4[13],
+			Window:  binary.BigEndian.Uint16(l4[14:16]),
+			Urgent:  binary.BigEndian.Uint16(l4[18:20]),
+		}
+		p.Payload = cloneBytes(l4[20:])
+	case ProtoUDP:
+		if len(l4) < 8 {
+			return nil, fmt.Errorf("%w: udp header", ErrTruncated)
+		}
+		ulen := int(binary.BigEndian.Uint16(l4[4:6]))
+		if ulen < 8 || ulen > len(l4) {
+			return nil, fmt.Errorf("%w: udp length %d of %d", ErrTruncated, ulen, len(l4))
+		}
+		if binary.BigEndian.Uint16(l4[6:8]) != 0 && pseudoChecksum(ip.Src, ip.Dst, ProtoUDP, l4[:ulen]) != 0 {
+			return nil, fmt.Errorf("%w: udp", ErrBadChecksum)
+		}
+		p.UDP = &UDP{
+			SrcPort: binary.BigEndian.Uint16(l4[0:2]),
+			DstPort: binary.BigEndian.Uint16(l4[2:4]),
+		}
+		p.Payload = cloneBytes(l4[8:ulen])
+	case ProtoICMP:
+		if len(l4) < 8 {
+			return nil, fmt.Errorf("%w: icmp header", ErrTruncated)
+		}
+		if checksum(l4, 0) != 0 {
+			return nil, fmt.Errorf("%w: icmp", ErrBadChecksum)
+		}
+		p.ICMP = &ICMP{
+			Type: l4[0],
+			Code: l4[1],
+			ID:   binary.BigEndian.Uint16(l4[4:6]),
+			Seq:  binary.BigEndian.Uint16(l4[6:8]),
+		}
+		p.Payload = cloneBytes(l4[8:])
+	default:
+		p.Payload = cloneBytes(l4)
+	}
+	return p, nil
+}
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// checksum computes the RFC 1071 Internet checksum of b folded into an
+// initial partial sum. Verifying a buffer that embeds a correct checksum
+// yields zero.
+func checksum(b []byte, initial uint32) uint16 {
+	sum := initial
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoChecksum computes the TCP/UDP checksum over the IPv4
+// pseudo-header plus the transport segment.
+func pseudoChecksum(src, dst IPAddr, proto uint8, segment []byte) uint16 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(len(segment))
+	return checksum(segment, sum)
+}

@@ -1,0 +1,198 @@
+// Package sim provides the deterministic discrete-event core that every
+// other package in this repository is built on.
+//
+// All network activity — link serialisation, propagation, switch pipelines,
+// the NetCo compare engine, traffic generators — is expressed as events on a
+// single virtual clock. Two properties make the whole reproduction
+// trustworthy:
+//
+//   - Virtual time: a 10-second iperf run finishes in milliseconds of wall
+//     time and is not perturbed by the host machine.
+//   - Determinism: events firing at the same instant are executed in the
+//     order they were scheduled, and all randomness flows through a seeded
+//     RNG, so every experiment is bit-for-bit repeatable.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Scheduler is a discrete-event scheduler with a virtual clock.
+//
+// The zero value is not usable; construct with NewScheduler. A Scheduler is
+// not safe for concurrent use: a simulation is a single logical thread of
+// control (parallelism across *experiments* is achieved by running multiple
+// schedulers).
+type Scheduler struct {
+	now    time.Duration
+	events eventQueue
+	seq    uint64
+
+	// executed counts events that have fired; useful for progress
+	// reporting and runaway detection in tests.
+	executed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero and no pending
+// events.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration {
+	return s.now
+}
+
+// Executed returns the number of events that have fired so far.
+func (s *Scheduler) Executed() uint64 {
+	return s.executed
+}
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int {
+	return len(s.events)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) runs the event at the current time instead, preserving the
+// no-time-travel invariant. The returned Timer may be used to cancel the
+// event before it fires.
+func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its deadline. It reports whether an event was executed (false when the
+// queue is empty).
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain pending.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for {
+		ev := s.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current virtual time.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now + d)
+}
+
+func (s *Scheduler) peek() *event {
+	for len(s.events) > 0 {
+		if s.events[0].cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0]
+	}
+	return nil
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the event if it has not fired yet. It reports whether the
+// call prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Deadline returns the virtual time at which the event fires (or would have
+// fired).
+func (t *Timer) Deadline() time.Duration {
+	return t.ev.at
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+// eventQueue is a min-heap ordered by (deadline, insertion sequence), which
+// yields deterministic FIFO semantics for simultaneous events.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	ev.fired = true
+	return ev
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*time.Microsecond, func() { got = append(got, 3) })
+	s.At(10*time.Microsecond, func() { got = append(got, 1) })
+	s.At(20*time.Microsecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Microsecond {
+		t.Fatalf("Now() = %v, want 30µs", s.Now())
+	}
+}
+
+func TestSchedulerSimultaneousFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events not FIFO at index %d: got %d", i, got[i])
+		}
+	}
+}
+
+func TestSchedulerPastEventRunsNow(t *testing.T) {
+	s := NewScheduler()
+	s.At(time.Second, func() {
+		s.At(time.Millisecond, func() {
+			if s.Now() != time.Second {
+				t.Errorf("past event ran at %v, want clock held at 1s", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestSchedulerAfterNegative(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler()
+	tm := s.After(0, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop() = true after event fired")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler()
+	var fired []time.Duration
+	s.At(time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.At(3*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.RunUntil(2 * time.Millisecond)
+	if len(fired) != 1 {
+		t.Fatalf("fired %d events, want 1", len(fired))
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("Now() = %v, want 2ms", s.Now())
+	}
+	s.RunFor(time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events after RunFor, want 2", len(fired))
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(time.Millisecond, func() { fired = true })
+	s.RunUntil(time.Millisecond)
+	if !fired {
+		t.Fatal("event at boundary did not fire")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 50 {
+			s.After(time.Microsecond, schedule)
+		}
+	}
+	s.After(0, schedule)
+	s.Run()
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+	if s.Executed() != 50 {
+		t.Fatalf("Executed() = %d, want 50", s.Executed())
+	}
+}
+
+// TestSchedulerDeterminism is the determinism contract: identical schedules
+// execute identically, regardless of insertion pattern randomness.
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		g := NewRNG(seed)
+		s := NewScheduler()
+		var order []time.Duration
+		for i := 0; i < 500; i++ {
+			d := time.Duration(g.Intn(1000)) * time.Microsecond
+			s.At(d, func() { order = append(order, s.Now()) })
+		}
+		s.Run()
+		return order
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in nondecreasing time order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(deadlines []uint16) bool {
+		s := NewScheduler()
+		var fired []time.Duration
+		for _, d := range deadlines {
+			dd := time.Duration(d) * time.Microsecond
+			s.At(dd, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(deadlines)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminismAndFork(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverge")
+		}
+	}
+	// Forks from identically-advanced parents are identical.
+	fa, fb := a.Fork(), b.Fork()
+	for i := 0; i < 100; i++ {
+		if fa.Uint64() != fb.Uint64() {
+			t.Fatal("forked RNGs diverge")
+		}
+	}
+	// A fork is independent of further parent use.
+	if a.Intn(10) < 0 {
+		t.Fatal("Intn out of range")
+	}
+}
+
+func TestRNGBytes(t *testing.T) {
+	g := NewRNG(1)
+	b := make([]byte, 64)
+	g.Bytes(b)
+	allZero := true
+	for _, x := range b {
+		if x != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("Bytes produced all zeros")
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i)*time.Nanosecond, func() {})
+	}
+	s.Run()
+}

@@ -1,0 +1,94 @@
+package switching
+
+import (
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/openflow"
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// Legacy is a fixed-function router with no control plane: a static
+// destination-MAC forwarding table configured out of band, the §IX
+// observation that "while we have so far focused on building a secure
+// router out of insecure OpenFlow switches, we believe that our approach
+// can easily be extended to legacy routers." A Legacy node slots into a
+// combiner exactly like an OpenFlow candidate — the compare never knows
+// the difference.
+type Legacy struct {
+	name  string
+	sched *sim.Scheduler
+	ports netem.Ports
+	proc  *netem.Proc
+
+	routes map[packet.MAC]uint16
+
+	// Forwarded and Dropped count routed and unrouted packets.
+	Forwarded uint64
+	Dropped   uint64
+}
+
+var _ netem.Node = (*Legacy)(nil)
+
+// NewLegacy creates a legacy router with the given per-packet forwarding
+// cost.
+func NewLegacy(sched *sim.Scheduler, name string, procDelay time.Duration, procQueue int) *Legacy {
+	return &Legacy{
+		name:   name,
+		sched:  sched,
+		proc:   netem.NewProc(sched, procDelay, procQueue),
+		routes: make(map[packet.MAC]uint16),
+	}
+}
+
+// Name implements netem.Node.
+func (l *Legacy) Name() string { return l.name }
+
+// Ports implements netem.Node.
+func (l *Legacy) Ports() *netem.Ports { return &l.ports }
+
+// AddMACRoute installs static dst-MAC forwarding out of port.
+func (l *Legacy) AddMACRoute(mac packet.MAC, port uint16) {
+	l.routes[mac] = port
+}
+
+// Receive implements netem.Receiver.
+func (l *Legacy) Receive(port int, pkt *packet.Packet) {
+	if !l.proc.Submit(func() { l.forward(pkt) }) {
+		l.Dropped++
+	}
+}
+
+func (l *Legacy) forward(pkt *packet.Packet) {
+	out, ok := l.routes[pkt.Eth.Dst]
+	if !ok {
+		l.Dropped++
+		return
+	}
+	if l.ports.Send(int(out), pkt) {
+		l.Forwarded++
+	}
+}
+
+// AddMACRoute gives Switch the same out-of-band provisioning surface as
+// Legacy, so heterogeneous candidate sets can be configured uniformly.
+func (sw *Switch) AddMACRoute(mac packet.MAC, port uint16) {
+	sw.table.Add(&openflow.FlowEntry{
+		Priority: 100,
+		Match:    openflow.MatchAll().WithDlDst(mac),
+		Actions:  []openflow.Action{openflow.Output(port)},
+	})
+}
+
+// MACRouter is the uniform provisioning surface shared by OpenFlow and
+// legacy candidates.
+type MACRouter interface {
+	netem.Node
+	AddMACRoute(mac packet.MAC, port uint16)
+}
+
+var (
+	_ MACRouter = (*Switch)(nil)
+	_ MACRouter = (*Legacy)(nil)
+)

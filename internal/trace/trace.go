@@ -1,0 +1,118 @@
+// Package trace provides packet capture for the emulated network: a
+// bounded ring of per-hop transmit records with filtering and text dumps.
+// It is the tcpdump stand-in behind the §VI case study's screening
+// ("using tcpdump to monitor packet arrivals on all interfaces adjacent
+// to the benign path").
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"netco/internal/packet"
+	"netco/internal/switching"
+)
+
+// Record is one captured transmission.
+type Record struct {
+	At   time.Duration
+	Node string
+	Port int
+	Pkt  *packet.Packet
+}
+
+// String renders the record tcpdump-style.
+func (r Record) String() string {
+	return fmt.Sprintf("%12v %s:%d %s", r.At, r.Node, r.Port, r.Pkt)
+}
+
+// Tracer captures switch transmissions into a bounded ring buffer.
+type Tracer struct {
+	capacity int
+	ring     []Record
+	next     int
+	wrapped  bool
+	total    uint64
+
+	filter func(*packet.Packet) bool
+}
+
+// New creates a tracer retaining up to capacity records (default 4096).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{capacity: capacity, ring: make([]Record, 0, capacity)}
+}
+
+// SetFilter restricts capture to packets the predicate accepts.
+func (t *Tracer) SetFilter(fn func(*packet.Packet) bool) { t.filter = fn }
+
+// Attach captures every transmission of sw, chaining any existing
+// OnTransmit hook.
+func (t *Tracer) Attach(sw *switching.Switch) {
+	prev := sw.OnTransmit
+	name := sw.Name()
+	sched := sw.Scheduler()
+	sw.OnTransmit = func(outPort int, pkt *packet.Packet) {
+		if prev != nil {
+			prev(outPort, pkt)
+		}
+		t.Capture(sched.Now(), name, outPort, pkt)
+	}
+}
+
+// Capture records one transmission directly (for non-switch nodes).
+func (t *Tracer) Capture(at time.Duration, node string, port int, pkt *packet.Packet) {
+	if t.filter != nil && !t.filter(pkt) {
+		return
+	}
+	t.total++
+	rec := Record{At: at, Node: node, Port: port, Pkt: pkt}
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, rec)
+		return
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % t.capacity
+	t.wrapped = true
+}
+
+// Total returns how many records matched the filter (including ones the
+// ring has since evicted).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Records returns the retained records, oldest first.
+func (t *Tracer) Records() []Record {
+	if !t.wrapped {
+		out := make([]Record, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Record, 0, t.capacity)
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Matching returns retained records accepted by the predicate.
+func (t *Tracer) Matching(fn func(Record) bool) []Record {
+	var out []Record
+	for _, r := range t.Records() {
+		if fn(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained records, one per line.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, r := range t.Records() {
+		if _, err := fmt.Fprintln(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

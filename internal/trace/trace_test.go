@@ -1,0 +1,135 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/openflow"
+	"netco/internal/packet"
+	"netco/internal/sim"
+	"netco/internal/switching"
+	"netco/internal/trace"
+	"netco/internal/traffic"
+)
+
+func testFrame(n uint32) *packet.Packet {
+	return packet.NewUDP(
+		packet.Endpoint{MAC: packet.HostMAC(1), IP: packet.HostIP(1), Port: 1},
+		packet.Endpoint{MAC: packet.HostMAC(n), IP: packet.HostIP(n), Port: 2},
+		[]byte("x"),
+	)
+}
+
+func TestTracerCapturesSwitchTransmissions(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.New(sched)
+	sw := switching.New(sched, switching.Config{Name: "sw"})
+	h1 := traffic.NewHost(sched, "h1", packet.HostMAC(1), packet.HostIP(1), traffic.HostConfig{})
+	h2 := traffic.NewHost(sched, "h2", packet.HostMAC(2), packet.HostIP(2), traffic.HostConfig{})
+	net.Add(sw)
+	net.Add(h1)
+	net.Add(h2)
+	net.Connect(h1, 0, sw, 0, netem.LinkConfig{})
+	net.Connect(h2, 0, sw, 1, netem.LinkConfig{})
+	sw.Table().Add(&openflow.FlowEntry{
+		Priority: 1,
+		Match:    openflow.MatchAll().WithDlDst(h2.MAC()),
+		Actions:  []openflow.Action{openflow.Output(1)},
+	})
+
+	tr := trace.New(16)
+	tr.Attach(sw)
+	for i := 0; i < 5; i++ {
+		h1.Send(testFrame(2))
+	}
+	sched.Run()
+
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", tr.Total())
+	}
+	recs := tr.Records()
+	if len(recs) != 5 {
+		t.Fatalf("retained %d, want 5", len(recs))
+	}
+	for _, r := range recs {
+		if r.Node != "sw" || r.Port != 1 {
+			t.Fatalf("record %+v, want sw:1", r)
+		}
+	}
+}
+
+func TestTracerChainsExistingHook(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.New(sched)
+	sw := switching.New(sched, switching.Config{Name: "sw"})
+	h1 := traffic.NewHost(sched, "h1", packet.HostMAC(1), packet.HostIP(1), traffic.HostConfig{})
+	h2 := traffic.NewHost(sched, "h2", packet.HostMAC(2), packet.HostIP(2), traffic.HostConfig{})
+	net.Add(sw)
+	net.Add(h1)
+	net.Add(h2)
+	net.Connect(h1, 0, sw, 0, netem.LinkConfig{})
+	net.Connect(h2, 0, sw, 1, netem.LinkConfig{})
+	sw.Table().Add(&openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(), Actions: []openflow.Action{openflow.Output(1)}})
+
+	prevCalls := 0
+	sw.OnTransmit = func(int, *packet.Packet) { prevCalls++ }
+	tr := trace.New(0)
+	tr.Attach(sw)
+	h1.Send(testFrame(2))
+	sched.Run()
+	if prevCalls != 1 || tr.Total() != 1 {
+		t.Fatalf("prev=%d traced=%d, want 1/1", prevCalls, tr.Total())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := trace.New(4)
+	for i := 0; i < 10; i++ {
+		tr.Capture(time.Duration(i), "n", i, testFrame(2))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d, want 4", len(recs))
+	}
+	// Oldest-first: ports 6,7,8,9.
+	for i, r := range recs {
+		if r.Port != 6+i {
+			t.Fatalf("record %d port %d, want %d", i, r.Port, 6+i)
+		}
+	}
+}
+
+func TestTracerFilterAndMatching(t *testing.T) {
+	tr := trace.New(16)
+	tr.SetFilter(func(p *packet.Packet) bool { return p.Eth.Dst == packet.HostMAC(7) })
+	tr.Capture(0, "n", 0, testFrame(7))
+	tr.Capture(0, "n", 1, testFrame(8))
+	tr.Capture(0, "n", 2, testFrame(7))
+	if tr.Total() != 2 {
+		t.Fatalf("Total = %d, want 2 (filtered)", tr.Total())
+	}
+	m := tr.Matching(func(r trace.Record) bool { return r.Port == 2 })
+	if len(m) != 1 {
+		t.Fatalf("Matching = %d, want 1", len(m))
+	}
+}
+
+func TestTracerDump(t *testing.T) {
+	tr := trace.New(8)
+	tr.Capture(time.Millisecond, "core0", 3, testFrame(2))
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"core0:3", "udp", "1ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump %q missing %q", out, want)
+		}
+	}
+}

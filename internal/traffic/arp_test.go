@@ -1,0 +1,121 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"netco/internal/packet"
+)
+
+func TestARPResolveDirect(t *testing.T) {
+	sched, _, h1, h2 := pipe(t, fastLink, HostConfig{})
+	var gotMAC packet.MAC
+	resolved := false
+	h1.Resolve(h2.IP(), func(mac packet.MAC, ok bool) {
+		gotMAC, resolved = mac, ok
+	})
+	sched.RunFor(50 * time.Millisecond)
+	if !resolved {
+		t.Fatal("resolution did not complete")
+	}
+	if gotMAC != h2.MAC() {
+		t.Fatalf("resolved %v, want %v", gotMAC, h2.MAC())
+	}
+	// The responder learned the requester opportunistically.
+	if h2.ARPCache()[h1.IP()] != h1.MAC() {
+		t.Fatal("responder did not learn the requester's binding")
+	}
+}
+
+func TestARPCacheHitIsSynchronous(t *testing.T) {
+	sched, _, h1, h2 := pipe(t, fastLink, HostConfig{})
+	h1.Resolve(h2.IP(), func(packet.MAC, bool) {})
+	sched.RunFor(50 * time.Millisecond)
+
+	// Second resolve answers immediately from the cache, without any
+	// new frames.
+	before := h1.Stats().TxPackets
+	called := false
+	h1.Resolve(h2.IP(), func(mac packet.MAC, ok bool) {
+		called = ok && mac == h2.MAC()
+	})
+	if !called {
+		t.Fatal("cache hit not answered synchronously")
+	}
+	if h1.Stats().TxPackets != before {
+		t.Fatal("cache hit sent frames")
+	}
+}
+
+func TestARPResolveTimeout(t *testing.T) {
+	sched, _, h1, _ := pipe(t, fastLink, HostConfig{})
+	done := false
+	ok := true
+	h1.Resolve(packet.HostIP(99), func(_ packet.MAC, o bool) {
+		done, ok = true, o
+	})
+	sched.RunFor(2 * time.Second)
+	if !done {
+		t.Fatal("resolution never gave up")
+	}
+	if ok {
+		t.Fatal("resolution of a nonexistent host succeeded")
+	}
+	// Three requests were attempted.
+	if tx := h1.Stats().TxPackets; tx != 3 {
+		t.Fatalf("sent %d ARP requests, want 3 (with retries)", tx)
+	}
+}
+
+func TestARPCoalescesConcurrentResolvers(t *testing.T) {
+	sched, _, h1, h2 := pipe(t, fastLink, HostConfig{})
+	calls := 0
+	for i := 0; i < 5; i++ {
+		h1.Resolve(h2.IP(), func(mac packet.MAC, ok bool) {
+			if ok && mac == h2.MAC() {
+				calls++
+			}
+		})
+	}
+	sched.RunFor(50 * time.Millisecond)
+	if calls != 5 {
+		t.Fatalf("callbacks = %d, want 5", calls)
+	}
+	// One request on the wire, not five.
+	if tx := h1.Stats().TxPackets; tx != 1 {
+		t.Fatalf("sent %d requests, want 1", tx)
+	}
+}
+
+func TestARPIgnoresRequestsForOthers(t *testing.T) {
+	sched, _, h1, h2 := pipe(t, fastLink, HostConfig{})
+	// h1 asks for an IP that belongs to nobody on the link; h2 must not
+	// answer even though it sees the broadcast.
+	h1.Resolve(packet.HostIP(77), func(packet.MAC, bool) {})
+	sched.RunFor(50 * time.Millisecond)
+	if h2.Stats().TxPackets != 0 {
+		t.Fatal("h2 answered an ARP request for a foreign IP")
+	}
+}
+
+func TestARPWireRoundTrip(t *testing.T) {
+	req := packet.NewARPRequest(packet.Endpoint{MAC: packet.HostMAC(1), IP: packet.HostIP(1)}, packet.HostIP(2))
+	parsed, err := packet.ParseARP(req.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Op != packet.ARPRequest || parsed.SenderIP != packet.HostIP(1) || parsed.TargetIP != packet.HostIP(2) {
+		t.Fatalf("parsed %+v", parsed)
+	}
+	// The frame itself survives the generic packet codec.
+	decoded, err := packet.Unmarshal(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Eth.EtherType != packet.EtherTypeARP {
+		t.Fatal("ethertype lost")
+	}
+	if _, err := packet.ParseARP(decoded.Payload); err != nil {
+		t.Fatalf("reparse after codec: %v", err)
+	}
+}
