@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-guard bench
+
+# check is the pre-merge gate: static checks, the full test suite under
+# the race detector, and the allocation-guard benchmarks (one iteration
+# each — they exist to run the b.ReportAllocs paths and the AllocsPerRun
+# guards embedded in the test run, not to produce stable timings).
+check: vet build race bench-guard
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-guard runs the zero-allocation benchmark suite once per bench.
+# The hard guarantees live in TestEngineIngestSteadyStateZeroAlloc and
+# TestSchedulerSteadyStateZeroAlloc (run by `race` above); this target
+# additionally exercises every benchmark body so a bench that starts
+# allocating is noticed in its -benchmem output.
+bench-guard:
+	$(GO) test -run '^$$' -bench 'SteadyState|Churn|EngineExpire' -benchtime 1x -benchmem \
+		./internal/core/ ./internal/sim/
+
+# bench reproduces the headline end-to-end number recorded in BENCH_1.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineIngest$$' -benchmem -benchtime 3s .

@@ -198,11 +198,17 @@ func BenchmarkEngineIngest(b *testing.B) {
 		Rate: 100e6, PayloadSize: 1470,
 	})
 	src.Start()
+	b.ReportAllocs()
 	b.ResetTimer()
+	start := tb.Sched.Executed()
 	for i := 0; i < b.N; i++ {
 		tb.Sched.RunFor(time.Millisecond)
 	}
 	b.StopTimer()
+	executed := tb.Sched.Executed() - start
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(executed)/secs, "events/s")
+	}
 	src.Stop()
 	if b.N > 100 && sink.Stats().Unique == 0 {
 		b.Fatal("no traffic flowed")

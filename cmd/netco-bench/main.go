@@ -6,19 +6,24 @@
 //
 //	netco-bench [-table1] [-fig4] [-fig5] [-fig6] [-fig7] [-fig8] [-all]
 //	            [-full] [-quick] [-seed n]
+//	            [-cpuprofile f] [-memprofile f] [-json f]
 //
 // Without selection flags, -all is assumed. -full uses the paper's
 // methodology (10 s runs, 10 per direction); -quick uses smoke-test
-// durations.
+// durations. -cpuprofile/-memprofile write pprof profiles of the run;
+// -json writes every headline metric to a machine-readable file (the
+// BENCH_*.json snapshots in the repo root are produced this way).
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -50,8 +55,28 @@ func run() error {
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		serial = flag.Bool("serial", false, "run scenarios sequentially (default: one worker per core)")
 		csvDir = flag.String("csv", "", "also write each figure's data as CSV files into this directory")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) at exit to this file")
+		jsonPath   = flag.String("json", "", "write all headline metrics as JSON to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// metrics accumulates every headline number printed below, keyed
+	// section.scenario.quantity, for the -json report.
+	metrics := map[string]float64{}
 
 	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *arch || *ksweep || *dos) {
 		*all = true
@@ -86,6 +111,7 @@ func run() error {
 		for _, r := range results {
 			fmt.Printf("  %-10s %7.1f Mbit/s   (fast-rtx %d, timeouts %d, dup-acks %d)\n",
 				r.Scenario, r.Mbps, r.FastRetransmits, r.Timeouts, r.DupAcks)
+			metrics["fig4."+r.Scenario.String()+".tcp_mbps"] = r.Mbps
 			rows = append(rows, []string{r.Scenario.String(), f1(r.Mbps),
 				strconv.FormatUint(r.FastRetransmits, 10), strconv.FormatUint(r.Timeouts, 10),
 				strconv.FormatUint(r.DupAcks, 10)})
@@ -103,6 +129,7 @@ func run() error {
 		rows := [][]string{{"scenario", "mbps", "loss"}}
 		for _, r := range results {
 			fmt.Printf("  %-10s %7.1f Mbit/s   (loss %.3f%%)\n", r.Scenario, r.Mbps, r.Loss*100)
+			metrics["fig5."+r.Scenario.String()+".udp_mbps"] = r.Mbps
 			rows = append(rows, []string{r.Scenario.String(), f1(r.Mbps), fmt.Sprintf("%.5f", r.Loss)})
 		}
 		if err := writeCSV(*csvDir, "fig5.csv", rows); err != nil {
@@ -117,6 +144,9 @@ func run() error {
 		for _, pt := range netco.RunFig6(p, nil) {
 			fmt.Printf("  %7.0f Mb %9.1f Mb %7.3f%% %10v\n",
 				pt.OfferedMbps, pt.AchievedMbps, pt.Loss*100, pt.Jitter)
+			key := fmt.Sprintf("fig6.offered%.0f", pt.OfferedMbps)
+			metrics[key+".achieved_mbps"] = pt.AchievedMbps
+			metrics[key+".loss"] = pt.Loss
 			rows = append(rows, []string{f1(pt.OfferedMbps), f1(pt.AchievedMbps),
 				fmt.Sprintf("%.5f", pt.Loss), f1(float64(pt.Jitter.Microseconds()))})
 		}
@@ -134,6 +164,7 @@ func run() error {
 		for _, r := range results {
 			fmt.Printf("  %-10s avg %8.3f ms  (min %.3f, max %.3f; %d/%d replies)\n",
 				r.Scenario, ms(r.AvgRTT), ms(r.MinRTT), ms(r.MaxRTT), r.Received, r.Sent)
+			metrics["fig7."+r.Scenario.String()+".rtt_ms"] = ms(r.AvgRTT)
 			rows = append(rows, []string{r.Scenario.String(),
 				fmt.Sprintf("%.4f", ms(r.AvgRTT)), fmt.Sprintf("%.4f", ms(r.MinRTT)), fmt.Sprintf("%.4f", ms(r.MaxRTT))})
 		}
@@ -152,6 +183,7 @@ func run() error {
 			fmt.Printf("  %-10s", series[0].Scenario)
 			for _, pt := range series {
 				fmt.Printf("  %4dB:%7v", pt.PayloadSize, pt.Jitter)
+				metrics[fmt.Sprintf("fig8.%s.%dB.jitter_us", pt.Scenario, pt.PayloadSize)] = float64(pt.Jitter.Microseconds())
 				rows = append(rows, []string{pt.Scenario.String(),
 					strconv.Itoa(pt.PayloadSize), f1(float64(pt.Jitter.Microseconds()))})
 			}
@@ -167,6 +199,8 @@ func run() error {
 		for _, r := range netco.RunArchitectureComparison(p) {
 			fmt.Printf("  %-10s tcp %6.1f Mbit/s   udp %6.1f Mbit/s   rtt %.3f ms\n",
 				r.Scenario, r.TCPMbps, r.UDPMbps, ms(r.AvgRTT))
+			metrics["arch."+r.Scenario.String()+".tcp_mbps"] = r.TCPMbps
+			metrics["arch."+r.Scenario.String()+".udp_mbps"] = r.UDPMbps
 		}
 		fmt.Println()
 	}
@@ -176,6 +210,7 @@ func run() error {
 		for _, pt := range netco.RunKSweep(p, nil) {
 			fmt.Printf("  %2d %10d %12.1f %12.1f %10.3f\n",
 				pt.K, pt.Tolerated, pt.TCPMbps, pt.UDPMbps, ms(pt.AvgRTT))
+			metrics[fmt.Sprintf("ksweep.k%d.tcp_mbps", pt.K)] = pt.TCPMbps
 		}
 		fmt.Println()
 	}
@@ -186,6 +221,10 @@ func run() error {
 		fmt.Printf("  replaying router, port blocking on:  %6.1f Mbit/s (%d blocks advised)\n", r.ReplayMbps, r.ReplayBlocks)
 		fmt.Printf("  60 kpps forged flood, isolated bufs: %6.1f Mbit/s (%d flood copies quota-dropped)\n", r.FloodIsolatedMbps, r.QuotaDrops)
 		fmt.Printf("  60 kpps forged flood, shared buffer: %6.1f Mbit/s\n", r.FloodSharedMbps)
+		metrics["dos.baseline_mbps"] = r.BaselineMbps
+		metrics["dos.replay_mbps"] = r.ReplayMbps
+		metrics["dos.flood_isolated_mbps"] = r.FloodIsolatedMbps
+		metrics["dos.flood_shared_mbps"] = r.FloodSharedMbps
 		fmt.Println()
 	}
 	if *all || *table1 {
@@ -203,6 +242,10 @@ func run() error {
 		for _, r := range rows {
 			csvRows = append(csvRows, []string{r.Scenario.String(), f1(r.TCPMbps), f1(r.UDPMbps),
 				fmt.Sprintf("%.4f", ms(r.AvgRTT))})
+			key := "table1." + r.Scenario.String()
+			metrics[key+".tcp_mbps"] = r.TCPMbps
+			metrics[key+".udp_mbps"] = r.UDPMbps
+			metrics[key+".rtt_ms"] = ms(r.AvgRTT)
 		}
 		if err := writeCSV(*csvDir, "table1.csv", csvRows); err != nil {
 			return err
@@ -210,7 +253,67 @@ func run() error {
 		fmt.Println()
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		// The event-rate soak is the perf-trajectory headline (see
+		// BENCH_1.json): simulated scheduler events per wall second on
+		// the Central3 UDP workload.
+		metrics["events_per_sec"] = eventRate(p)
+		if err := writeJSON(*jsonPath, *seed, time.Since(start), metrics); err != nil {
+			return err
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// eventRate measures the simulator's wall-clock event rate: a Central3
+// testbed under 100 Mbit/s UDP, 250 simulated milliseconds, reported as
+// scheduler events per wall second. This is the same workload as the
+// repo-level BenchmarkEngineIngest.
+func eventRate(p netco.Params) float64 {
+	tb := netco.BuildTestbed(p.TestbedParams(netco.Central3, nil))
+	defer tb.Close()
+	netco.NewUDPSink(tb.H2, 5001)
+	src := netco.NewUDPSource(tb.H1, 4001, tb.H2.Endpoint(5001), netco.UDPSourceConfig{
+		Rate: 100e6, PayloadSize: 1470,
+	})
+	src.Start()
+	tb.Sched.RunFor(50 * time.Millisecond) // warm up flows and pools
+	before := tb.Sched.Executed()
+	wall := time.Now()
+	tb.Sched.RunFor(250 * time.Millisecond)
+	secs := time.Since(wall).Seconds()
+	src.Stop()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(tb.Sched.Executed()-before) / secs
+}
+
+// writeJSON dumps the headline metrics of the run in a stable,
+// machine-readable form (keys sorted by encoding/json).
+func writeJSON(path string, seed int64, elapsed time.Duration, metrics map[string]float64) error {
+	report := struct {
+		Seed      int64              `json:"seed"`
+		ElapsedMS float64            `json:"elapsed_ms"`
+		Metrics   map[string]float64 `json:"metrics"`
+	}{seed, float64(elapsed.Milliseconds()), metrics}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func ms(d time.Duration) float64 { return d.Seconds() * 1e3 }

@@ -194,7 +194,7 @@ type Flood struct {
 	Injected uint64
 
 	sw      *switching.Switch
-	timer   *sim.Timer
+	timer   sim.Timer
 	stopped bool
 	seq     uint64
 }
@@ -232,9 +232,7 @@ func (f *Flood) Attach(sw *switching.Switch) {
 // Stop halts the generator.
 func (f *Flood) Stop() {
 	f.stopped = true
-	if f.timer != nil {
-		f.timer.Stop()
-	}
+	f.timer.Stop()
 }
 
 // Forward implements switching.Behavior: Flood leaves transit traffic

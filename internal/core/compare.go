@@ -74,14 +74,22 @@ type CompareNode struct {
 
 	engines map[int]*Engine
 	edges   map[int]*EdgeSwitch
-	backlog map[int]int // per (edge*MaxK+router) ingest backlog
+	// backlog tracks the per-(edge, router) ingest backlog, indexed
+	// densely by edgeID*2*MaxK + compare ingress port and grown on
+	// demand — the map it replaces cost a hashed lookup plus write per
+	// copy on the hottest path in the simulator.
+	backlog []int32
 
 	// OnAlarm, when non-nil, receives port-silence and detection alarms
 	// ("this raises an alarm to the network administrator", §IV).
 	OnAlarm func(Alarm)
 
+	// framePool recycles the PacketOut frames sent back to the edges;
+	// the edge recycles them after decapsulating the release.
+	framePool packet.Pool
+
 	stats      CompareStats
-	sweepTimer *sim.Timer
+	sweepTimer sim.Timer
 }
 
 var _ netem.Node = (*CompareNode)(nil)
@@ -99,7 +107,6 @@ func NewCompareNode(sched *sim.Scheduler, cfg CompareNodeConfig) *CompareNode {
 		proc:    netem.NewProc(sched, cfg.PerCopyCost, cfg.QueueLimit),
 		engines: make(map[int]*Engine),
 		edges:   make(map[int]*EdgeSwitch),
-		backlog: make(map[int]int),
 	}
 	c.scheduleSweep()
 	return c
@@ -140,10 +147,8 @@ func (c *CompareNode) RegisterEdge(edgeID int, edge *EdgeSwitch) {
 
 // Close stops the periodic sweep.
 func (c *CompareNode) Close() {
-	if c.sweepTimer != nil {
-		c.sweepTimer.Stop()
-		c.sweepTimer = nil
-	}
+	c.sweepTimer.Stop()
+	c.sweepTimer = sim.Timer{}
 }
 
 func (c *CompareNode) scheduleSweep() {
@@ -167,33 +172,76 @@ func (c *CompareNode) engineFor(edgeID int) *Engine {
 
 // Receive implements netem.Receiver: node port = edge id; the frame is a
 // compare-channel PacketIn.
+//
+// The decapsulated wire bytes are threaded straight through to the engine:
+// copies are hashed and byte-compared from the bytes the edge already
+// marshalled, never re-marshalled (and, outside ModeHeader, never
+// re-parsed).
+//
+// Quota accounting is increment-after-accept: backlog[quotaKey]++ runs
+// after Submit returns true, and the decrement runs inside the submitted
+// closure. The scheduler is a single logical thread — Submit only enqueues
+// a future event, it never runs the closure synchronously — so the closure
+// (and its decrement) cannot fire between the accept and the increment,
+// and the counter exactly tracks copies in flight. CompareNodeQuota tests
+// pin this down.
 func (c *CompareNode) Receive(port int, frame *packet.Packet) {
-	inPort, pkt, err := decapPacketIn(frame)
+	inPort, _, err := decapPacketIn(frame)
 	if err != nil {
 		return
 	}
 	quotaKey := port*2*MaxK + inPort
+	if quotaKey >= len(c.backlog) {
+		c.backlog = append(c.backlog, make([]int32, quotaKey+1-len(c.backlog))...)
+	}
 	if !c.cfg.NoBufferIsolation && c.cfg.QueueLimit > 0 && c.cfg.Engine.K > 0 {
-		if c.backlog[quotaKey] >= c.cfg.QueueLimit/c.cfg.Engine.K {
+		if int(c.backlog[quotaKey]) >= c.cfg.QueueLimit/c.cfg.Engine.K {
 			c.stats.QuotaDrops++
+			packet.Recycle(frame)
 			return
 		}
 	}
-	if !c.proc.Submit(func() {
-		c.backlog[quotaKey]--
-		c.ingest(port, inPort, pkt)
-	}) {
+	if !c.proc.SubmitArgs(compareServe, c, frame, port) {
 		c.stats.IngestDrops++
+		packet.Recycle(frame)
 		return
 	}
 	c.backlog[quotaKey]++
 }
 
-func (c *CompareNode) ingest(edgeID, inPort int, pkt *packet.Packet) {
+// compareServe is the deferred half of Receive. It re-decapsulates the
+// frame (a header parse over bytes already in cache — cheaper than
+// carrying the decoded form through an allocation), runs the decrement
+// half of the quota accounting, and finally recycles the encapsulation
+// frame: the engine copies the wire bytes it keeps, so the frame's
+// point-to-point life ends here.
+func compareServe(a0, a1 any, port int) {
+	c := a0.(*CompareNode)
+	frame := a1.(*packet.Packet)
+	inPort, wire, err := decapPacketIn(frame)
+	if err != nil {
+		return
+	}
+	c.backlog[port*2*MaxK+inPort]--
+	c.ingest(port, inPort, wire)
+	packet.Recycle(frame)
+}
+
+func (c *CompareNode) ingest(edgeID, inPort int, wire []byte) {
 	routerIdx := inPort % MaxK
 	eng := c.engineFor(edgeID)
+	var pkt *packet.Packet
+	if c.cfg.Engine.Mode == ModeHeader {
+		// Header keys are computed from parsed fields; this is the only
+		// mode that still needs the copy in parsed form.
+		parsed, err := packet.Unmarshal(wire)
+		if err != nil {
+			return
+		}
+		pkt = parsed
+	}
 	now := c.sched.Now()
-	events := eng.Ingest(now, routerIdx, pkt.Marshal(), pkt)
+	events := eng.Ingest(now, routerIdx, wire, pkt)
 	c.handleEvents(edgeID, eng, events)
 
 	if eng.OverCapacity() {
@@ -211,8 +259,13 @@ func (c *CompareNode) handleEvents(edgeID int, eng *Engine, events []Event) {
 		case EventRelease:
 			// "A single copy of the packet is sent back to the switch,
 			// which then forwards it according to the decision the
-			// majority of the r_i made" (§IV).
-			c.ports.Send(edgeID, encapPacketOut(ev.Pkt))
+			// majority of the r_i made" (§IV). The engine hands back the
+			// stored wire form, so the release path is a copy, not a
+			// re-marshal.
+			out := encapPacketOutInto(c.framePool.Get(), ev.Wire)
+			if !c.ports.Send(edgeID, out) {
+				packet.Recycle(out)
+			}
 		case EventDoS:
 			if c.cfg.BlockDuration > 0 {
 				if edge := c.edges[edgeID]; edge != nil {

@@ -113,6 +113,14 @@ type EdgeSwitch struct {
 
 	blockedUntil map[int]time.Duration // router port index -> blocked until
 
+	// wireBuf is scratch for marshalling frames bound for the compare;
+	// encapPacketIn copies it into the encapsulation, so it is reused
+	// across packets.
+	wireBuf []byte
+	// framePool recycles the PacketIn encapsulation frames this edge
+	// sends toward the compare; the compare recycles them after ingest.
+	framePool packet.Pool
+
 	stats EdgeStats
 }
 
@@ -198,12 +206,17 @@ func (e *EdgeSwitch) RouterBlocked(idx int) bool {
 	return e.sched.Now() < e.blockedUntil[idx]
 }
 
-// Receive implements netem.Receiver.
+// Receive implements netem.Receiver. The argument-carrying submit keeps
+// the per-packet edge pipeline allocation-free.
 func (e *EdgeSwitch) Receive(port int, pkt *packet.Packet) {
-	if !e.proc.Submit(func() { e.handle(port, pkt) }) {
+	if !e.proc.SubmitArgs(edgeHandle, e, pkt, port) {
 		// Queue overflow at the edge: drop.
 		return
 	}
+}
+
+func edgeHandle(a0, a1 any, port int) {
+	a0.(*EdgeSwitch).handle(port, a1.(*packet.Packet))
 }
 
 func (e *EdgeSwitch) handle(port int, pkt *packet.Packet) {
@@ -266,16 +279,28 @@ func (e *EdgeSwitch) fromRouter(idx int, pkt *packet.Packet) {
 		}
 		// Thorough path: a deterministic sample of packets (all their
 		// copies) goes to the out-of-band detect-only compare.
-		if packet.FastKey(pkt.Marshal())%uint64(e.cfg.SampleRate) == 0 {
+		e.wireBuf = pkt.MarshalInto(e.wireBuf[:0])
+		if packet.FastKey(e.wireBuf)%uint64(e.cfg.SampleRate) == 0 {
 			if idx == 0 {
 				e.stats.Sampled++
 			}
 			e.stats.ToCompare++
-			e.ports.Send(e.comparePort, encapPacketIn(e.cfg.EdgeID*MaxK+idx, pkt))
+			e.sendToCompare(idx, e.wireBuf)
 		}
 	default:
 		e.stats.ToCompare++
-		e.ports.Send(e.comparePort, encapPacketIn(e.cfg.EdgeID*MaxK+idx, pkt))
+		e.wireBuf = pkt.MarshalInto(e.wireBuf[:0])
+		e.sendToCompare(idx, e.wireBuf)
+	}
+}
+
+// sendToCompare encapsulates an already-marshalled router copy in a pooled
+// frame and transmits it on the compare channel. The wire slice may be
+// scratch: the encapsulation copies it.
+func (e *EdgeSwitch) sendToCompare(idx int, wire []byte) {
+	frame := encapPacketInInto(e.framePool.Get(), e.cfg.EdgeID*MaxK+idx, wire)
+	if !e.ports.Send(e.comparePort, frame) {
+		packet.Recycle(frame)
 	}
 }
 
@@ -285,6 +310,9 @@ func (e *EdgeSwitch) fromCompare(frame *packet.Packet) {
 	if err != nil {
 		return
 	}
+	// The release is an independent parse; the encapsulation frame ends
+	// its point-to-point life here.
+	packet.Recycle(frame)
 	e.stats.FromCompare++
 	if e.cfg.Mode == EdgeModeSample {
 		// Sampled packets were already forwarded on the fast path; the
@@ -315,66 +343,73 @@ func (e *EdgeSwitch) forwardByMAC(pkt *packet.Packet) {
 // encapsulation: an Ethernet frame whose payload is an OpenFlow PacketIn
 // carrying the full original frame and the combiner-wide ingress port.
 func encapPacketIn(comparePort int, pkt *packet.Packet) *packet.Packet {
-	data := pkt.Marshal()
-	msg := openflow.PacketIn{
-		BufferID: openflow.NoBuffer,
-		TotalLen: uint16(len(data)),
-		InPort:   uint16(comparePort),
-		Reason:   openflow.PacketInNoMatch,
-		Data:     data,
-	}
-	return &packet.Packet{
-		Eth:     packet.Ethernet{EtherType: EtherTypeNetCo},
-		Payload: openflow.Encode(msg, 0),
-	}
+	return encapPacketInInto(&packet.Packet{}, comparePort, pkt.Marshal())
 }
 
-// decapPacketIn reverses encapPacketIn.
-func decapPacketIn(frame *packet.Packet) (port int, pkt *packet.Packet, err error) {
+// encapPacketInInto is encapPacketIn for a frame already in wire form
+// (possibly a scratch buffer — the bytes are copied exactly once, straight
+// into the encoded message), built into dst (typically a pooled frame
+// whose payload capacity is reused).
+func encapPacketInInto(dst *packet.Packet, comparePort int, wire []byte) *packet.Packet {
+	msg := openflow.PacketIn{
+		BufferID: openflow.NoBuffer,
+		TotalLen: uint16(len(wire)),
+		InPort:   uint16(comparePort),
+		Reason:   openflow.PacketInNoMatch,
+		Data:     wire,
+	}
+	dst.Eth = packet.Ethernet{EtherType: EtherTypeNetCo}
+	dst.Payload = openflow.AppendEncode(dst.Payload[:0], msg, 0)
+	return dst
+}
+
+// decapPacketIn reverses encapPacketIn, yielding the copy's wire bytes.
+// Parsing is deliberately left to the caller — the compare's hot modes
+// hash and byte-compare the wire form without ever needing a parse. The
+// returned wire slice aliases the frame's payload (frames are immutable
+// once sent, and the engine copies what it keeps).
+func decapPacketIn(frame *packet.Packet) (port int, wire []byte, err error) {
 	if frame.Eth.EtherType != EtherTypeNetCo {
 		return 0, nil, fmt.Errorf("core: unexpected ethertype %#x on compare channel", frame.Eth.EtherType)
 	}
-	msg, _, err := openflow.Decode(frame.Payload)
+	pin, err := openflow.DecodePacketIn(frame.Payload)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: compare channel: %w", err)
 	}
-	pin, ok := msg.(openflow.PacketIn)
-	if !ok {
-		return 0, nil, fmt.Errorf("core: compare channel: unexpected %T", msg)
-	}
-	inner, err := packet.Unmarshal(pin.Data)
-	if err != nil {
-		return 0, nil, fmt.Errorf("core: compare channel payload: %w", err)
-	}
-	return int(pin.InPort), inner, nil
+	return int(pin.InPort), pin.Data, nil
 }
 
-// encapPacketOut wraps a released frame for the trip back to the edge.
-func encapPacketOut(pkt *packet.Packet) *packet.Packet {
+// encapPacketOut wraps a released frame's wire bytes for the trip back to
+// the edge.
+func encapPacketOut(wire []byte) *packet.Packet {
+	return encapPacketOutInto(&packet.Packet{}, wire)
+}
+
+// encapPacketOutInto is encapPacketOut building into dst (typically a
+// pooled frame).
+func encapPacketOutInto(dst *packet.Packet, wire []byte) *packet.Packet {
 	msg := openflow.PacketOut{
 		BufferID: openflow.NoBuffer,
 		InPort:   openflow.PortNone,
-		Actions:  []openflow.Action{openflow.Output(openflow.PortTable)},
-		Data:     pkt.Marshal(),
+		Actions:  packetOutActions[:],
+		Data:     wire,
 	}
-	return &packet.Packet{
-		Eth:     packet.Ethernet{EtherType: EtherTypeNetCo},
-		Payload: openflow.Encode(msg, 0),
-	}
+	dst.Eth = packet.Ethernet{EtherType: EtherTypeNetCo}
+	dst.Payload = openflow.AppendEncode(dst.Payload[:0], msg, 0)
+	return dst
 }
+
+// packetOutActions is the constant action list of every compare release.
+var packetOutActions = [1]openflow.Action{openflow.Output(openflow.PortTable)}
 
 // decapPacketOut reverses encapPacketOut.
 func decapPacketOut(frame *packet.Packet) (*packet.Packet, error) {
 	if frame.Eth.EtherType != EtherTypeNetCo {
 		return nil, fmt.Errorf("core: unexpected ethertype %#x on compare channel", frame.Eth.EtherType)
 	}
-	msg, _, err := openflow.Decode(frame.Payload)
+	data, err := openflow.DecodePacketOutData(frame.Payload)
 	if err != nil {
 		return nil, fmt.Errorf("core: compare channel: %w", err)
 	}
-	pout, ok := msg.(openflow.PacketOut)
-	if !ok {
-		return nil, fmt.Errorf("core: compare channel: unexpected %T", msg)
-	}
-	return packet.Unmarshal(pout.Data)
+	return packet.Unmarshal(data)
 }

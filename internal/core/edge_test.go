@@ -31,14 +31,14 @@ func TestCompareChannelPacketInRoundTrip(t *testing.T) {
 	if port != MaxK+2 {
 		t.Fatalf("port = %d, want %d", port, MaxK+2)
 	}
-	if !bytes.Equal(inner.Marshal(), pkt.Marshal()) {
+	if !bytes.Equal(inner, pkt.Marshal()) {
 		t.Fatal("inner frame corrupted by encapsulation")
 	}
 }
 
 func TestCompareChannelPacketOutRoundTrip(t *testing.T) {
 	pkt := samplePkt()
-	frame := encapPacketOut(pkt)
+	frame := encapPacketOut(pkt.Marshal())
 	inner, err := decapPacketOut(frame)
 	if err != nil {
 		t.Fatalf("decap: %v", err)
@@ -59,7 +59,7 @@ func TestCompareChannelRejectsForeignFrames(t *testing.T) {
 	if _, err := decapPacketOut(encapPacketIn(0, samplePkt())); err == nil {
 		t.Fatal("decapPacketOut accepted a PacketIn frame")
 	}
-	if _, _, err := decapPacketIn(encapPacketOut(samplePkt())); err == nil {
+	if _, _, err := decapPacketIn(encapPacketOut(samplePkt().Marshal())); err == nil {
 		t.Fatal("decapPacketIn accepted a PacketOut frame")
 	}
 }

@@ -82,12 +82,21 @@ func (k EventKind) String() string {
 }
 
 // Event is one compare engine outcome. Port is meaningful for EventDoS,
-// EventPortSilent and EventSuppressed (first port seen); Pkt for
+// EventPortSilent and EventSuppressed (first port seen); Pkt/Wire for
 // EventRelease and EventSuppressed.
+//
+// Events returned by Ingest, Expire and Cleanup alias engine-owned scratch
+// storage: they are valid until the next call into the same engine and must
+// be consumed (or copied) before then.
 type Event struct {
 	Kind EventKind
 	Port int
-	Pkt  *packet.Packet
+	// Pkt is the parsed frame, when the caller provided one to Ingest.
+	Pkt *packet.Packet
+	// Wire is the frame's wire form (engine-owned copy for entry-backed
+	// events). Data-plane deployments release from Wire directly so
+	// parsed packets never need to be re-marshalled.
+	Wire []byte
 	// Copies is how many copies had arrived when the event fired.
 	Copies int
 }
@@ -164,11 +173,19 @@ type Stats struct {
 	CleanupScanned uint64
 }
 
+// entry is one cached packet awaiting majority. Entries are pooled: retire
+// recycles them onto the engine's free list, and Ingest reuses them (and
+// their wire buffers) instead of allocating, so the steady-state ingest
+// path performs no heap allocations.
 type entry struct {
-	key      uint64
-	wire     []byte // ModeBitExact: full frame for confirmation
+	key uint64
+	// next links entries in two mutually exclusive states: colliding
+	// entries within one key bucket while live, and the engine's free
+	// list while recycled.
+	next     *entry
+	wire     []byte // engine-owned copy of the frame (confirmation + release)
 	pkt      *packet.Packet
-	seen     []uint8 // copies per port
+	seen     [MaxK]uint8 // copies per port
 	distinct int
 	released bool
 	dosSent  bool
@@ -182,24 +199,92 @@ type entry struct {
 type Engine struct {
 	cfg Config
 
-	entries map[uint64][]*entry
+	// entries buckets live entries by key; collisions chain via
+	// entry.next (intrusive, so inserting a new key allocates nothing).
+	entries map[uint64]*entry
 	// fifo holds entries in arrival order for expiry and cleanup scans.
-	fifo []*entry
+	// A ring buffer keeps memory bounded by the peak number of live
+	// entries; the previous fifo = fifo[1:] slice retained every popped
+	// entry until the backing array happened to be reallocated.
+	fifo entryRing
 	size int
 
 	silent []int // consecutive missed retirements per port
 
+	free    *entry  // recycled entries
+	scratch []Event // reused backing array for returned events
+
 	stats Stats
 }
 
-// NewEngine returns an engine for the given configuration.
+// NewEngine returns an engine for the given configuration. K must not
+// exceed MaxK.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	if cfg.K > MaxK {
+		panic("core: engine K exceeds MaxK")
+	}
 	return &Engine{
 		cfg:     cfg,
-		entries: make(map[uint64][]*entry),
+		entries: make(map[uint64]*entry),
 		silent:  make([]int, cfg.K),
 	}
+}
+
+// entryRing is a FIFO of entries backed by a power-of-two ring buffer.
+type entryRing struct {
+	buf  []*entry
+	head int
+	n    int
+}
+
+func (r *entryRing) push(en *entry) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = en
+	r.n++
+}
+
+func (r *entryRing) pop() *entry {
+	en := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return en
+}
+
+func (r *entryRing) peek() *entry { return r.buf[r.head] }
+
+func (r *entryRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 64
+	}
+	buf := make([]*entry, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}
+
+// alloc takes an entry from the free list, or allocates one cold.
+func (e *Engine) alloc() *entry {
+	en := e.free
+	if en == nil {
+		return &entry{}
+	}
+	e.free = en.next
+	en.next = nil
+	return en
+}
+
+// recycle resets an entry (keeping its wire buffer's capacity) and pushes
+// it onto the free list.
+func (e *Engine) recycle(en *entry) {
+	wire := en.wire[:0]
+	*en = entry{wire: wire, next: e.free}
+	e.free = en
 }
 
 // Config returns the effective configuration (defaults applied).
@@ -229,40 +314,43 @@ func (e *Engine) sameFrame(en *entry, wire []byte) bool {
 }
 
 // Ingest offers one copy received on port at virtual time now. wire is the
-// frame's marshalled form and pkt its parsed form (callers usually have
-// both already; the engine never mutates either). The returned events must
-// be acted on by the deployment wrapper.
+// frame's marshalled form and pkt its parsed form. pkt may be nil unless
+// Mode is ModeHeader (whose key is computed from parsed headers); the
+// data-plane CompareNode exploits this to ingest decapsulated wire bytes
+// without re-parsing or re-marshalling them. The engine copies wire into
+// entry-owned storage, so callers may reuse their buffer; it never mutates
+// either argument. The returned events must be acted on by the deployment
+// wrapper before the next call into the engine (they alias engine scratch).
 func (e *Engine) Ingest(now time.Duration, port int, wire []byte, pkt *packet.Packet) []Event {
 	e.stats.Ingested++
+	events := e.scratch[:0]
 	if port < 0 || port >= e.cfg.K {
 		// Unknown ingress: treat as a lone suppressed packet.
 		e.stats.Suppressed++
-		return []Event{{Kind: EventSuppressed, Port: port, Pkt: pkt, Copies: 1}}
+		events = append(events, Event{Kind: EventSuppressed, Port: port, Pkt: pkt, Wire: wire, Copies: 1})
+		e.scratch = events
+		return events
 	}
 
 	key := e.keyOf(wire, pkt)
 	var en *entry
-	for _, cand := range e.entries[key] {
+	for cand := e.entries[key]; cand != nil; cand = cand.next {
 		if e.sameFrame(cand, wire) {
 			en = cand
 			break
 		}
 	}
 
-	var events []Event
 	if en == nil {
-		en = &entry{
-			key:     key,
-			pkt:     pkt,
-			seen:    make([]uint8, e.cfg.K),
-			first:   now,
-			firstPt: port,
-		}
-		if e.cfg.Mode == ModeBitExact {
-			en.wire = wire
-		}
-		e.entries[key] = append(e.entries[key], en)
-		e.fifo = append(e.fifo, en)
+		en = e.alloc()
+		en.key = key
+		en.pkt = pkt
+		en.wire = append(en.wire[:0], wire...)
+		en.first = now
+		en.firstPt = port
+		en.next = e.entries[key]
+		e.entries[key] = en
+		e.fifo.push(en)
 		e.size++
 	}
 
@@ -277,12 +365,12 @@ func (e *Engine) Ingest(now time.Duration, port int, wire []byte, pkt *packet.Pa
 	if int(en.seen[port]) >= e.cfg.DoSThreshold && !en.dosSent {
 		en.dosSent = true
 		e.stats.DoSFlagged++
-		events = append(events, Event{Kind: EventDoS, Port: port, Pkt: pkt, Copies: int(en.seen[port])})
+		events = append(events, Event{Kind: EventDoS, Port: port, Pkt: pkt, Wire: en.wire, Copies: int(en.seen[port])})
 	}
 
 	if en.released {
 		e.stats.LateCopies++
-		return events
+		return e.emit(events)
 	}
 
 	release := en.distinct >= e.cfg.Majority
@@ -292,38 +380,51 @@ func (e *Engine) Ingest(now time.Duration, port int, wire []byte, pkt *packet.Pa
 	if release {
 		en.released = true
 		e.stats.Released++
-		events = append(events, Event{Kind: EventRelease, Port: port, Pkt: en.pkt, Copies: en.distinct})
+		events = append(events, Event{Kind: EventRelease, Port: port, Pkt: en.pkt, Wire: en.wire, Copies: en.distinct})
+	}
+	return e.emit(events)
+}
+
+// emit stores the scratch backing array for reuse and normalises an empty
+// slice to nil (matching the historical API).
+func (e *Engine) emit(events []Event) []Event {
+	e.scratch = events
+	if len(events) == 0 {
+		return nil
 	}
 	return events
 }
 
 // Expire retires entries older than HoldTimeout, returning suppression,
 // detection and port-silence events. Deployments call it periodically.
+// Like Ingest's, the returned slice is valid until the next engine call.
 func (e *Engine) Expire(now time.Duration) []Event {
-	var events []Event
+	events := e.scratch[:0]
 	cutoff := now - e.cfg.HoldTimeout
-	for len(e.fifo) > 0 && e.fifo[0].first <= cutoff {
-		en := e.fifo[0]
-		e.fifo = e.fifo[1:]
-		events = e.retire(en, events)
+	for e.fifo.n > 0 && e.fifo.peek().first <= cutoff {
+		events = e.retire(e.fifo.pop(), events)
 	}
-	return events
+	return e.emit(events)
 }
 
-// retire removes an entry from the cache and accounts for its outcome.
+// retire removes an entry from the cache, accounts for its outcome, and
+// recycles it. The appended events borrow the entry's pkt and wire; they
+// remain intact until the entry is reused by a later Ingest.
 func (e *Engine) retire(en *entry, events []Event) []Event {
-	// Remove from the key bucket.
-	bucket := e.entries[en.key]
-	for i, cand := range bucket {
-		if cand == en {
-			bucket = append(bucket[:i], bucket[i+1:]...)
-			break
+	// Unlink from the key bucket's chain.
+	if head := e.entries[en.key]; head == en {
+		if en.next == nil {
+			delete(e.entries, en.key)
+		} else {
+			e.entries[en.key] = en.next
 		}
-	}
-	if len(bucket) == 0 {
-		delete(e.entries, en.key)
 	} else {
-		e.entries[en.key] = bucket
+		for cand := head; cand != nil; cand = cand.next {
+			if cand.next == en {
+				cand.next = en.next
+				break
+			}
+		}
 	}
 	e.size--
 
@@ -333,11 +434,12 @@ func (e *Engine) retire(en *entry, events []Event) []Event {
 			Kind:   EventSuppressed,
 			Port:   en.firstPt,
 			Pkt:    en.pkt,
+			Wire:   en.wire,
 			Copies: en.distinct,
 		})
 	} else if e.cfg.DetectOnly && en.distinct < e.cfg.K {
 		e.stats.Detections++
-		events = append(events, Event{Kind: EventDetection, Port: en.firstPt, Pkt: en.pkt, Copies: en.distinct})
+		events = append(events, Event{Kind: EventDetection, Port: en.firstPt, Pkt: en.pkt, Wire: en.wire, Copies: en.distinct})
 	}
 
 	// Port-silence accounting: only meaningful for entries that reached
@@ -355,6 +457,7 @@ func (e *Engine) retire(en *entry, events []Event) []Event {
 			}
 		}
 	}
+	e.recycle(en)
 	return events
 }
 
@@ -369,16 +472,19 @@ func (e *Engine) Cleanup(now time.Duration) (events []Event, scanned int) {
 		return nil, 0
 	}
 	e.stats.CleanupPasses++
+	events = e.scratch[:0]
 	target := e.cfg.CacheCapacity / 2
-	for e.size > target && len(e.fifo) > 0 {
-		en := e.fifo[0]
-		e.fifo = e.fifo[1:]
+	for e.size > target && e.fifo.n > 0 {
 		scanned++
-		events = e.retire(en, events)
+		events = e.retire(e.fifo.pop(), events)
 	}
 	e.stats.CleanupScanned += uint64(scanned)
-	return events, scanned
+	return e.emit(events), scanned
 }
+
+// fifoCap exposes the ring's backing capacity for memory-bound regression
+// tests.
+func (e *Engine) fifoCap() int { return len(e.fifo.buf) }
 
 // OverCapacity reports whether the cache exceeds its configured capacity.
 func (e *Engine) OverCapacity() bool {

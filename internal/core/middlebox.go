@@ -60,12 +60,15 @@ type Middlebox struct {
 	proc  *netem.Proc
 
 	engine *Engine
+	// wireBuf is marshal scratch; the engine copies ingested wire bytes,
+	// so the buffer is reused across copies.
+	wireBuf []byte
 
 	// OnAlarm receives DoS / silence alarms from the engine.
 	OnAlarm func(Alarm)
 
 	stats      MiddleboxStats
-	sweepTimer *sim.Timer
+	sweepTimer sim.Timer
 }
 
 var _ netem.Node = (*Middlebox)(nil)
@@ -101,10 +104,8 @@ func (m *Middlebox) EngineStats() Stats { return m.engine.Stats() }
 
 // Close stops the periodic sweep.
 func (m *Middlebox) Close() {
-	if m.sweepTimer != nil {
-		m.sweepTimer.Stop()
-		m.sweepTimer = nil
-	}
+	m.sweepTimer.Stop()
+	m.sweepTimer = sim.Timer{}
 }
 
 func (m *Middlebox) scheduleSweep() {
@@ -122,10 +123,14 @@ func (m *Middlebox) Receive(port int, pkt *packet.Packet) {
 		m.stats.PassedThrough++
 		m.ports.Send(MiddleboxNetPort, pkt)
 	case MiddleboxNetPort:
-		if !m.proc.Submit(func() { m.combine(pkt) }) {
+		if !m.proc.SubmitArgs(middleboxCombine, m, pkt, 0) {
 			return
 		}
 	}
+}
+
+func middleboxCombine(a0, a1 any, _ int) {
+	a0.(*Middlebox).combine(a1.(*packet.Packet))
 }
 
 func (m *Middlebox) combine(pkt *packet.Packet) {
@@ -141,7 +146,8 @@ func (m *Middlebox) combine(pkt *packet.Packet) {
 	}
 	stripped := pkt.Clone()
 	stripped.Eth.VLAN = nil
-	m.handleEvents(m.engine.Ingest(m.sched.Now(), idx, stripped.Marshal(), stripped))
+	m.wireBuf = stripped.MarshalInto(m.wireBuf[:0])
+	m.handleEvents(m.engine.Ingest(m.sched.Now(), idx, m.wireBuf, stripped))
 	if m.engine.OverCapacity() {
 		events, scanned := m.engine.Cleanup(m.sched.Now())
 		if scanned > 0 {

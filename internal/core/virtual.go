@@ -60,13 +60,16 @@ type VirtualEdge struct {
 
 	engine   *Engine
 	macTable map[packet.MAC]int
+	// wireBuf is marshal scratch; the engine copies ingested wire bytes,
+	// so the buffer is reused across copies.
+	wireBuf []byte
 
 	// OnAlarm receives DoS / silence / detection alarms from the inband
 	// compare.
 	OnAlarm func(Alarm)
 
 	stats      VirtualEdgeStats
-	sweepTimer *sim.Timer
+	sweepTimer sim.Timer
 }
 
 var _ netem.Node = (*VirtualEdge)(nil)
@@ -118,10 +121,8 @@ func (v *VirtualEdge) AddRoute(mac packet.MAC, port int) {
 
 // Close stops the periodic sweep.
 func (v *VirtualEdge) Close() {
-	if v.sweepTimer != nil {
-		v.sweepTimer.Stop()
-		v.sweepTimer = nil
-	}
+	v.sweepTimer.Stop()
+	v.sweepTimer = sim.Timer{}
 }
 
 func (v *VirtualEdge) scheduleSweep() {
@@ -142,9 +143,13 @@ func (v *VirtualEdge) Receive(port int, pkt *packet.Packet) {
 	if idx < 0 || idx >= v.cfg.Paths {
 		return
 	}
-	if !v.proc.Submit(func() { v.combine(idx, pkt) }) {
+	if !v.proc.SubmitArgs(virtualCombine, v, pkt, idx) {
 		return
 	}
+}
+
+func virtualCombine(a0, a1 any, idx int) {
+	a0.(*VirtualEdge).combine(idx, a1.(*packet.Packet))
 }
 
 // split replicates a protected-side packet over the k tagged paths.
@@ -171,7 +176,8 @@ func (v *VirtualEdge) combine(idx int, pkt *packet.Packet) {
 	}
 	stripped := pkt.Clone()
 	stripped.Eth.VLAN = nil
-	events := v.engine.Ingest(v.sched.Now(), idx, stripped.Marshal(), stripped)
+	v.wireBuf = stripped.MarshalInto(v.wireBuf[:0])
+	events := v.engine.Ingest(v.sched.Now(), idx, v.wireBuf, stripped)
 	v.handleEvents(events)
 	if v.engine.OverCapacity() {
 		cleanupEvents, scanned := v.engine.Cleanup(v.sched.Now())

@@ -136,9 +136,19 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 	d.stats.TxPackets++
 	d.stats.TxBytes += uint64(pkt.WireLen())
 
-	l.sched.At(finish, func() { d.queued-- })
-	l.sched.At(finish+l.cfg.Delay, func() {
-		dst.recv.Receive(dst.port, pkt)
-	})
+	// Argument-carrying events: two events per transmission with zero
+	// closure allocations (the link is the single hottest scheduler
+	// client — every packet on every hop passes through here).
+	l.sched.AtCall(finish, linkTxDone, d, nil, 0)
+	l.sched.AtCall(finish+l.cfg.Delay, linkDeliver, &l.ends[1-fromEnd], pkt, 0)
 	return true
+}
+
+func linkTxDone(a0, _ any, _ int) {
+	a0.(*linkDir).queued--
+}
+
+func linkDeliver(a0, a1 any, _ int) {
+	dst := a0.(*attachment)
+	dst.recv.Receive(dst.port, a1.(*packet.Packet))
 }

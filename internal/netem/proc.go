@@ -43,6 +43,9 @@ type Proc struct {
 	queued    int
 	stats     ProcStats
 	paused    time.Duration
+
+	// freeCalls recycles SubmitArgs call records.
+	freeCalls *procCall
 }
 
 // NewProc returns a processing resource. perItem is the service time per
@@ -83,32 +86,92 @@ func (p *Proc) SetHysteresis(on bool) { p.hysteresis = on }
 // SubmitCost is Submit with an explicit service time for this item,
 // overriding the default. Used for size-dependent costs.
 func (p *Proc) SubmitCost(cost time.Duration, fn func()) bool {
+	finish, ok := p.admit(cost)
+	if !ok {
+		return false
+	}
+	p.sched.AtCall(finish, procRun, p, fn, 0)
+	return true
+}
+
+// SubmitArgs is the allocation-free form of Submit: instead of a fresh
+// closure per item, the callback receives its state through the scheduler's
+// inline argument slots. a0 and a1 should be pointer-shaped; n is carried
+// inline. The per-copy paths of the edge and compare nodes use this so the
+// steady state submits work with zero heap allocations.
+func (p *Proc) SubmitArgs(fn sim.CallFunc, a0, a1 any, n int) bool {
+	return p.SubmitArgsCost(p.perItem, fn, a0, a1, n)
+}
+
+// SubmitArgsCost is SubmitArgs with an explicit service time.
+func (p *Proc) SubmitArgsCost(cost time.Duration, fn sim.CallFunc, a0, a1 any, n int) bool {
+	finish, ok := p.admit(cost)
+	if !ok {
+		return false
+	}
+	c := p.freeCalls
+	if c != nil {
+		p.freeCalls = c.next
+	} else {
+		c = &procCall{}
+	}
+	c.fn, c.a0, c.a1 = fn, a0, a1
+	p.sched.AtCall(finish, procRunArgs, p, c, n)
+	return true
+}
+
+// admit applies the queue policy and, on acceptance, books the service
+// interval, returning the completion time.
+func (p *Proc) admit(cost time.Duration) (time.Duration, bool) {
 	if p.queueLimit > 0 {
 		if p.queued >= p.queueLimit {
 			p.dropping = p.hysteresis
 			p.stats.Dropped++
-			return false
+			return 0, false
 		}
 		if p.dropping {
 			if p.queued > p.queueLimit/2 {
 				p.stats.Dropped++
-				return false
+				return 0, false
 			}
 			p.dropping = false
 		}
 	}
-	now := p.sched.Now()
-	start := now
+	start := p.sched.Now()
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
 	finish := start + cost
 	p.busyUntil = finish
 	p.queued++
-	p.sched.At(finish, func() {
-		p.queued--
-		p.stats.Processed++
-		fn()
-	})
-	return true
+	return finish, true
+}
+
+func procRun(a0, a1 any, _ int) {
+	p := a0.(*Proc)
+	p.queued--
+	p.stats.Processed++
+	a1.(func())()
+}
+
+// procCall carries one SubmitArgs item's callback and arguments; instances
+// are pooled on the owning Proc (a call is in flight from submission until
+// its event fires, so the pool's steady state is the queue's high-water
+// mark).
+type procCall struct {
+	fn     sim.CallFunc
+	a0, a1 any
+	next   *procCall
+}
+
+func procRunArgs(a0, a1 any, n int) {
+	p := a0.(*Proc)
+	p.queued--
+	p.stats.Processed++
+	c := a1.(*procCall)
+	fn, ca0, ca1 := c.fn, c.a0, c.a1
+	c.fn, c.a0, c.a1 = nil, nil, nil
+	c.next = p.freeCalls
+	p.freeCalls = c
+	fn(ca0, ca1, n)
 }

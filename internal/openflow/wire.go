@@ -293,6 +293,70 @@ func Encode(m Message, xid uint32) []byte {
 	return append(buf, body...)
 }
 
+// AppendEncode appends the encoded form of m to dst and returns the
+// extended slice. PacketIn and PacketOut — the compare channel's
+// per-copy messages — are encoded directly into dst with a single exact
+// reservation instead of the intermediate body buffer Encode builds, so
+// the simulator hot path pays one allocation (or none, when dst has
+// capacity) per encapsulation.
+func AppendEncode(dst []byte, m Message, xid uint32) []byte {
+	switch v := m.(type) {
+	case PacketIn:
+		dst = reserve(dst, headerLen+10+len(v.Data))
+		dst = appendHeader(dst, m.MsgType(), headerLen+10+len(v.Data), xid)
+		dst = binary.BigEndian.AppendUint32(dst, v.BufferID)
+		dst = binary.BigEndian.AppendUint16(dst, v.TotalLen)
+		dst = binary.BigEndian.AppendUint16(dst, v.InPort)
+		dst = append(dst, v.Reason, 0)
+		return append(dst, v.Data...)
+	case PacketOut:
+		alen := actionsWireLen(v.Actions)
+		total := headerLen + 8 + alen + len(v.Data)
+		dst = reserve(dst, total)
+		dst = appendHeader(dst, m.MsgType(), total, xid)
+		dst = binary.BigEndian.AppendUint32(dst, v.BufferID)
+		dst = binary.BigEndian.AppendUint16(dst, v.InPort)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(alen))
+		dst = appendActions(dst, v.Actions)
+		return append(dst, v.Data...)
+	default:
+		body := encodeBody(m)
+		dst = reserve(dst, headerLen+len(body))
+		dst = appendHeader(dst, m.MsgType(), headerLen+len(body), xid)
+		return append(dst, body...)
+	}
+}
+
+// reserve guarantees dst has capacity for n more bytes.
+func reserve(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst
+	}
+	grown := make([]byte, len(dst), len(dst)+n)
+	copy(grown, dst)
+	return grown
+}
+
+func appendHeader(dst []byte, t MsgType, total int, xid uint32) []byte {
+	dst = append(dst, Version, byte(t))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	return binary.BigEndian.AppendUint32(dst, xid)
+}
+
+// actionsWireLen returns the encoded length of an action list.
+func actionsWireLen(actions []Action) int {
+	n := 0
+	for _, a := range actions {
+		switch a.Type {
+		case ActionSetDlSrc, ActionSetDlDst:
+			n += 16
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
 func encodeBody(m Message) []byte {
 	switch v := m.(type) {
 	case Hello, FeaturesRequest, BarrierRequest, BarrierReply:
@@ -392,6 +456,66 @@ func encodeBody(m Message) []byte {
 	default:
 		panic(fmt.Sprintf("openflow: cannot encode %T", m))
 	}
+}
+
+// DecodePacketIn is the compare channel's zero-allocation decode path: it
+// parses a PacketIn without boxing the result in the Message interface,
+// and the returned Data field aliases buf instead of copying it. Callers
+// must therefore treat the data as valid only while buf is; the generic
+// Decode keeps its defensive copy.
+func DecodePacketIn(buf []byte) (PacketIn, error) {
+	body, err := checkHeader(buf, MsgPacketIn)
+	if err != nil {
+		return PacketIn{}, err
+	}
+	if len(body) < 10 {
+		return PacketIn{}, fmt.Errorf("%w: packet-in body", ErrShortMessage)
+	}
+	return PacketIn{
+		BufferID: binary.BigEndian.Uint32(body[0:4]),
+		TotalLen: binary.BigEndian.Uint16(body[4:6]),
+		InPort:   binary.BigEndian.Uint16(body[6:8]),
+		Reason:   body[8],
+		Data:     body[10:],
+	}, nil
+}
+
+// DecodePacketOutData extracts a PacketOut's payload without materialising
+// the action list or copying: the returned slice aliases buf. The action
+// bytes are length-checked but not parsed — the compare channel's release
+// path only forwards the enclosed frame.
+func DecodePacketOutData(buf []byte) ([]byte, error) {
+	body, err := checkHeader(buf, MsgPacketOut)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 8 {
+		return nil, fmt.Errorf("%w: packet-out body", ErrShortMessage)
+	}
+	alen := int(binary.BigEndian.Uint16(body[6:8]))
+	if 8+alen > len(body) {
+		return nil, fmt.Errorf("%w: packet-out actions", ErrShortMessage)
+	}
+	return body[8+alen:], nil
+}
+
+// checkHeader validates the OpenFlow header and expected type, returning
+// the body slice.
+func checkHeader(buf []byte, want MsgType) ([]byte, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("%w: header (%d bytes)", ErrShortMessage, len(buf))
+	}
+	if buf[0] != Version {
+		return nil, fmt.Errorf("%w: %#x", ErrBadVersion, buf[0])
+	}
+	if MsgType(buf[1]) != want {
+		return nil, fmt.Errorf("%w: type %d, want %d", ErrBadMessage, buf[1], want)
+	}
+	length := int(binary.BigEndian.Uint16(buf[2:4]))
+	if length < headerLen || length > len(buf) {
+		return nil, fmt.Errorf("%w: declared %d of %d bytes", ErrShortMessage, length, len(buf))
+	}
+	return buf[headerLen:length], nil
 }
 
 // Decode parses one wire-format message, returning the message and its
@@ -688,7 +812,11 @@ func decodePhyPort(b []byte) PhyPort {
 
 // encodeActions serialises an action list (ofp_action_*).
 func encodeActions(actions []Action) []byte {
-	var b []byte
+	return appendActions(nil, actions)
+}
+
+// appendActions serialises an action list into b.
+func appendActions(b []byte, actions []Action) []byte {
 	for _, a := range actions {
 		switch a.Type {
 		case ActionOutput:

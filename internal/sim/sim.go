@@ -11,10 +11,16 @@
 //   - Determinism: events firing at the same instant are executed in the
 //     order they were scheduled, and all randomness flows through a seeded
 //     RNG, so every experiment is bit-for-bit repeatable.
+//
+// The scheduler is the simulator's hottest data structure: every packet
+// transmission, delivery and processing step is one event. It therefore
+// avoids per-event heap allocations entirely: events live in a recycled
+// arena indexed by a free list, the priority queue is a 4-ary min-heap of
+// inline (deadline, seq, index) records, and Timer is a value type. Only
+// the caller's closure escapes.
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -25,13 +31,55 @@ import (
 // control (parallelism across *experiments* is achieved by running multiple
 // schedulers).
 type Scheduler struct {
-	now    time.Duration
-	events eventQueue
-	seq    uint64
+	now time.Duration
+	seq uint64
+
+	// heap is a 4-ary min-heap over inline nodes ordered by (deadline,
+	// insertion sequence), which yields deterministic FIFO semantics for
+	// simultaneous events. Nodes reference event records by arena index.
+	heap []heapNode
+	// recs is the event arena; free lists recycled indices. A record is
+	// recycled only when its heap node is popped (fire or lazy cancel
+	// sweep), never by Timer.Stop — the heap node still references it.
+	recs []eventRec
+	free []int32
 
 	// executed counts events that have fired; useful for progress
 	// reporting and runaway detection in tests.
 	executed uint64
+}
+
+type heapNode struct {
+	at  time.Duration
+	seq uint64
+	rec int32
+}
+
+func nodeLess(a, b heapNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// CallFunc is the argument-carrying form of an event callback, used by
+// AtCall. The two any slots carry pointer-shaped values (pointers, func
+// values) that box without allocating; n carries a small integer inline.
+type CallFunc func(a0, a1 any, n int)
+
+// eventRec is one pooled event. gen increments each time the record is
+// recycled so that stale Timers (whose event already fired) can be told
+// apart from live ones without keeping the record alive. Exactly one of
+// fn and call is set.
+type eventRec struct {
+	fn   func()
+	call CallFunc
+	a0   any
+	a1   any
+	n    int
+
+	gen       uint32
+	cancelled bool
 }
 
 // NewScheduler returns a scheduler with the clock at zero and no pending
@@ -50,28 +98,62 @@ func (s *Scheduler) Executed() uint64 {
 	return s.executed
 }
 
-// Pending returns the number of events currently scheduled.
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet removed from the queue).
 func (s *Scheduler) Pending() int {
-	return len(s.events)
+	return len(s.heap)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) runs the event at the current time instead, preserving the
 // no-time-travel invariant. The returned Timer may be used to cancel the
 // event before it fires.
-func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+func (s *Scheduler) At(t time.Duration, fn func()) Timer {
+	idx, rec := s.allocRec()
+	rec.fn = fn
+	return s.arm(t, idx, rec)
+}
+
+// AtCall schedules fn(a0, a1, n) at absolute virtual time t without
+// allocating: the arguments are stored inline in the pooled event record,
+// so hot paths (link delivery, processing pipelines) that would otherwise
+// capture state in a fresh closure per event stay allocation-free. a0 and
+// a1 should be pointer-shaped (pointers, func values) — other types box
+// on conversion to any, which reintroduces the allocation.
+func (s *Scheduler) AtCall(t time.Duration, fn CallFunc, a0, a1 any, n int) Timer {
+	idx, rec := s.allocRec()
+	rec.call = fn
+	rec.a0 = a0
+	rec.a1 = a1
+	rec.n = n
+	return s.arm(t, idx, rec)
+}
+
+func (s *Scheduler) allocRec() (int32, *eventRec) {
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.recs = append(s.recs, eventRec{})
+		idx = int32(len(s.recs) - 1)
+	}
+	return idx, &s.recs[idx]
+}
+
+func (s *Scheduler) arm(t time.Duration, idx int32, rec *eventRec) Timer {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	rec.cancelled = false
+	s.push(heapNode{at: t, seq: s.seq, rec: idx})
 	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	return Timer{s: s, at: t, idx: idx, gen: rec.gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative d is
 // treated as zero.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -82,14 +164,23 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 // its deadline. It reports whether an event was executed (false when the
 // queue is empty).
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*event)
-		if ev.cancelled {
+	for len(s.heap) > 0 {
+		node := s.popMin()
+		rec := &s.recs[node.rec]
+		fn := rec.fn
+		call, a0, a1, n := rec.call, rec.a0, rec.a1, rec.n
+		cancelled := rec.cancelled
+		s.release(node.rec)
+		if cancelled {
 			continue
 		}
-		s.now = ev.at
+		s.now = node.at
 		s.executed++
-		ev.fn()
+		if fn != nil {
+			fn()
+		} else {
+			call(a0, a1, n)
+		}
 		return true
 	}
 	return false
@@ -105,8 +196,8 @@ func (s *Scheduler) Run() {
 // exactly t. Events scheduled beyond t remain pending.
 func (s *Scheduler) RunUntil(t time.Duration) {
 	for {
-		ev := s.peek()
-		if ev == nil || ev.at > t {
+		at, ok := s.peekDeadline()
+		if !ok || at > t {
 			break
 		}
 		s.Step()
@@ -121,78 +212,123 @@ func (s *Scheduler) RunFor(d time.Duration) {
 	s.RunUntil(s.now + d)
 }
 
-func (s *Scheduler) peek() *event {
-	for len(s.events) > 0 {
-		if s.events[0].cancelled {
-			heap.Pop(&s.events)
+// peekDeadline returns the deadline of the earliest live event, discarding
+// cancelled events lazily.
+func (s *Scheduler) peekDeadline() (time.Duration, bool) {
+	for len(s.heap) > 0 {
+		node := s.heap[0]
+		if s.recs[node.rec].cancelled {
+			n := s.popMin()
+			s.release(n.rec)
 			continue
 		}
-		return s.events[0]
+		return node.at, true
 	}
-	return nil
+	return 0, false
 }
 
-// Timer is a handle to a scheduled event.
+// release recycles an event record whose heap node has been popped. The
+// generation bump is what invalidates outstanding Timers; clearing fn
+// releases the closure to the GC.
+func (s *Scheduler) release(idx int32) {
+	rec := &s.recs[idx]
+	rec.fn = nil
+	rec.call = nil
+	rec.a0 = nil
+	rec.a1 = nil
+	rec.n = 0
+	rec.cancelled = false
+	rec.gen++
+	s.free = append(s.free, idx)
+}
+
+// push inserts a node into the 4-ary heap.
+func (s *Scheduler) push(n heapNode) {
+	s.heap = append(s.heap, n)
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !nodeLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// popMin removes and returns the heap minimum.
+func (s *Scheduler) popMin() heapNode {
+	h := s.heap
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	h = s.heap
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if nodeLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !nodeLess(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return min
+}
+
+// Timer is a handle to a scheduled event. It is a plain value (no heap
+// allocation per event); the zero Timer refers to no event. A Timer stays
+// valid after its event fires: Stop then reports false, because the
+// underlying pooled record's generation has moved on.
 type Timer struct {
-	ev *event
+	s   *Scheduler
+	at  time.Duration
+	idx int32
+	gen uint32
 }
 
 // Stop cancels the event if it has not fired yet. It reports whether the
 // call prevented the event from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+//
+// Stop must not recycle the event record: the heap still holds a node
+// referencing it, and recycling would let a new event claim the index and
+// then be released by the stale node's pop. Cancellation therefore only
+// marks the record; the pop path recycles it.
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.cancelled = true
+	rec := &t.s.recs[t.idx]
+	if rec.gen != t.gen || rec.cancelled {
+		return false
+	}
+	rec.cancelled = true
 	return true
 }
 
 // Deadline returns the virtual time at which the event fires (or would have
 // fired).
-func (t *Timer) Deadline() time.Duration {
-	return t.ev.at
+func (t Timer) Deadline() time.Duration {
+	return t.at
 }
 
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	fired     bool
-	index     int
-}
-
-// eventQueue is a min-heap ordered by (deadline, insertion sequence), which
-// yields deterministic FIFO semantics for simultaneous events.
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	ev.fired = true
-	return ev
+// Scheduled reports whether the Timer refers to an event at all (the zero
+// Timer does not). It is the replacement for comparing a *Timer against
+// nil; it says nothing about whether the event has already fired.
+func (t Timer) Scheduled() bool {
+	return t.s != nil
 }

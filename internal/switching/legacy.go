@@ -55,9 +55,13 @@ func (l *Legacy) AddMACRoute(mac packet.MAC, port uint16) {
 
 // Receive implements netem.Receiver.
 func (l *Legacy) Receive(port int, pkt *packet.Packet) {
-	if !l.proc.Submit(func() { l.forward(pkt) }) {
+	if !l.proc.SubmitArgs(legacyForward, l, pkt, 0) {
 		l.Dropped++
 	}
+}
+
+func legacyForward(a0, a1 any, _ int) {
+	a0.(*Legacy).forward(a1.(*packet.Packet))
 }
 
 func (l *Legacy) forward(pkt *packet.Packet) {

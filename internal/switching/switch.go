@@ -164,9 +164,13 @@ func (sw *Switch) Receive(port int, pkt *packet.Packet) {
 		pc.RxDropped++
 		return
 	}
-	if !sw.proc.Submit(func() { sw.pipeline(port, pkt) }) {
+	if !sw.proc.SubmitArgs(switchPipeline, sw, pkt, port) {
 		pc.RxDropped++
 	}
+}
+
+func switchPipeline(a0, a1 any, port int) {
+	a0.(*Switch).pipeline(port, a1.(*packet.Packet))
 }
 
 // pipeline runs table lookup and action execution for one packet.

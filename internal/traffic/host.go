@@ -137,9 +137,13 @@ func (h *Host) Receive(port int, pkt *packet.Packet) {
 		return // not ours (hub floods, mirrored strays)
 	}
 	h.stats.RxPackets++
-	if !h.proc.Submit(func() { h.deliver(pkt) }) {
+	if !h.proc.SubmitArgs(hostDeliver, h, pkt, 0) {
 		h.stats.RxDropped++
 	}
+}
+
+func hostDeliver(a0, a1 any, _ int) {
+	a0.(*Host).deliver(a1.(*packet.Packet))
 }
 
 func (h *Host) deliver(pkt *packet.Packet) {

@@ -153,9 +153,9 @@ type tcpSender struct {
 	// Pacing (sch_fq-style): transmissions are spread at 2·cwnd/SRTT
 	// rather than window-dumped, once an RTT estimate exists.
 	nextSend  time.Duration
-	paceTimer *sim.Timer
+	paceTimer sim.Timer
 
-	rtoTimer *sim.Timer
+	rtoTimer sim.Timer
 	stats    TCPStats
 }
 
@@ -174,12 +174,8 @@ func newTCPSender(host *Host, src, dst packet.Endpoint, cfg TCPConfig) *tcpSende
 
 func (s *tcpSender) stop() {
 	s.stopped = true
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
-	if s.paceTimer != nil {
-		s.paceTimer.Stop()
-	}
+	s.rtoTimer.Stop()
+	s.paceTimer.Stop()
 }
 
 func (s *tcpSender) flight() float64 { return float64(s.sndNxt - s.sndUna) }
@@ -197,9 +193,9 @@ func (s *tcpSender) sendData() {
 	for s.flight()+float64(s.cfg.MSS) <= wnd {
 		now := s.sched.Now()
 		if s.hasSRTT && now < s.nextSend {
-			if s.paceTimer == nil {
+			if !s.paceTimer.Scheduled() {
 				s.paceTimer = s.sched.At(s.nextSend, func() {
-					s.paceTimer = nil
+					s.paceTimer = sim.Timer{}
 					s.sendData()
 				})
 			}
@@ -236,10 +232,8 @@ func (s *tcpSender) transmit(seq uint32, isRetransmit bool) {
 }
 
 func (s *tcpSender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Stop()
+	s.rtoTimer = sim.Timer{}
 	if s.sndNxt == s.sndUna || s.stopped {
 		return
 	}
@@ -372,7 +366,7 @@ type tcpReceiver struct {
 	dupSegments  uint64
 
 	pendingAcks int
-	delAckTimer *sim.Timer
+	delAckTimer sim.Timer
 }
 
 func newTCPReceiver(host *Host, local, peer packet.Endpoint, cfg TCPConfig) *tcpReceiver {
@@ -428,9 +422,9 @@ func (r *tcpReceiver) ackInOrder() {
 		r.sendAck()
 		return
 	}
-	if r.delAckTimer == nil {
+	if !r.delAckTimer.Scheduled() {
 		r.delAckTimer = r.sched.After(r.cfg.DelAckTimeout, func() {
-			r.delAckTimer = nil
+			r.delAckTimer = sim.Timer{}
 			if r.pendingAcks > 0 {
 				r.sendAck()
 			}
@@ -440,10 +434,8 @@ func (r *tcpReceiver) ackInOrder() {
 
 func (r *tcpReceiver) sendAck() {
 	r.pendingAcks = 0
-	if r.delAckTimer != nil {
-		r.delAckTimer.Stop()
-		r.delAckTimer = nil
-	}
+	r.delAckTimer.Stop()
+	r.delAckTimer = sim.Timer{}
 	ack := packet.NewTCP(r.local, r.peer, 0, r.rcvNxt, packet.TCPAck, 0xffff, nil)
 	r.host.Send(ack)
 }

@@ -44,7 +44,7 @@ type UDPSource struct {
 	seq     uint32
 	carry   float64
 	running bool
-	timer   *sim.Timer
+	timer   sim.Timer
 
 	// Sent counts datagrams handed to the NIC.
 	Sent uint64
@@ -81,9 +81,7 @@ func (s *UDPSource) Start() {
 // Stop halts the source.
 func (s *UDPSource) Stop() {
 	s.running = false
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 }
 
 func (s *UDPSource) scheduleTick() {
