@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench
+.PHONY: check vet build test race bench-guard bench sweep-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
-# the race detector, and the allocation-guard benchmarks (one iteration
-# each — they exist to run the b.ReportAllocs paths and the AllocsPerRun
-# guards embedded in the test run, not to produce stable timings).
-check: vet build race bench-guard
+# the race detector (with scratch poisoning on, so retained engine events
+# fail loudly), the allocation-guard benchmarks (one iteration each —
+# they exist to run the b.ReportAllocs paths and the AllocsPerRun guards
+# embedded in the test run, not to produce stable timings), and an
+# end-to-end parallel sweep smoke run.
+check: vet build race bench-guard sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,8 +19,22 @@ build:
 test:
 	$(GO) test ./...
 
+# race runs the whole suite — including the parallel runner and the
+# cross-goroutine scheduler tests — under the race detector, with
+# NETCO_POISON_SCRATCH=1 so any code that retains engine scratch events
+# across calls sees them scribbled and fails deterministically.
 race:
-	$(GO) test -race ./...
+	NETCO_POISON_SCRATCH=1 $(GO) test -race ./...
+
+# sweep-smoke runs a tiny 2-worker grid end to end through the CLI and
+# verifies the artifact is byte-identical to a single-worker run.
+sweep-smoke:
+	$(GO) run ./cmd/netco-sweep -quick -kinds ping -scenarios Linespeed,Central3 \
+		-seeds 1:2 -workers 2 -json /tmp/netco-sweep-smoke-w2.json
+	$(GO) run ./cmd/netco-sweep -quick -kinds ping -scenarios Linespeed,Central3 \
+		-seeds 1:2 -workers 1 -json /tmp/netco-sweep-smoke-w1.json > /dev/null
+	cmp /tmp/netco-sweep-smoke-w1.json /tmp/netco-sweep-smoke-w2.json
+	@echo "sweep-smoke: artifacts byte-identical across worker counts"
 
 # bench-guard runs the zero-allocation benchmark suite once per bench.
 # The hard guarantees live in TestEngineIngestSteadyStateZeroAlloc and

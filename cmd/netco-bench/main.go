@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -25,10 +26,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
-	"sync"
 	"time"
 
 	"netco"
+	"netco/internal/runner"
 )
 
 func main() {
@@ -340,21 +341,12 @@ func writeCSV(dir, name string, rows [][]string) error {
 }
 
 // parallelMap runs fn over items with bounded concurrency, preserving
-// order. Every simulation is self-contained and deterministic, so
-// parallelism changes wall time only, never results.
+// order — a thin wrapper over runner.Map. Every simulation is
+// self-contained and deterministic, so parallelism changes wall time
+// only, never results.
 func parallelMap[S, R any](workers int, items []S, fn func(S) R) []R {
-	out := make([]R, len(items))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, item := range items {
-		wg.Add(1)
-		go func(i int, item S) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = fn(item)
-		}(i, item)
-	}
-	wg.Wait()
+	out, _ := runner.Map(context.Background(), workers, len(items), func(i int) (R, error) {
+		return fn(items[i]), nil
+	})
 	return out
 }

@@ -1,0 +1,232 @@
+// Command netco-sweep fans an experiment grid — kinds × scenarios ×
+// seeds × parameter variants — out across a worker pool of isolated
+// simulations and writes a mergeable JSON artifact.
+//
+// Usage:
+//
+//	netco-sweep [-kinds tcp,udp,ping,jitter] [-scenarios all|name,...]
+//	            [-seeds 1,2,3 | -seeds 1:10] [-trunk-mbps 250,500,1000]
+//	            [-workers n] [-json f] [-quick] [-full]
+//
+// Every run builds its own scheduler, pools and engines; results are
+// ordered by grid position, so the artifact for a given grid is
+// byte-identical whatever -workers is. Interrupting with SIGINT cancels
+// not-yet-started runs and reports the completed prefix.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netco/internal/experiment"
+	"netco/internal/runner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netco-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kindsFlag = flag.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter)")
+		scenFlag  = flag.String("scenarios", "Linespeed,Central3", `scenarios, comma-separated, or "all"`)
+		seedsFlag = flag.String("seeds", "1", `seed list "1,2,3" or range "1:10" (inclusive)`)
+		trunkFlag = flag.String("trunk-mbps", "", "optional trunk-rate grid in Mbit/s (one variant per value)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonPath  = flag.String("json", "", "write the full report as JSON to this file")
+		quick     = flag.Bool("quick", false, "smoke-test durations")
+		full      = flag.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
+	)
+	flag.Parse()
+
+	kinds, err := parseKinds(*kindsFlag)
+	if err != nil {
+		return err
+	}
+	scenarios, err := parseScenarios(*scenFlag)
+	if err != nil {
+		return err
+	}
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		return err
+	}
+
+	base := experiment.DefaultParams()
+	if *full {
+		base = base.PaperFaithful()
+	}
+	if *quick {
+		base = base.Quick()
+	}
+	variants, err := parseVariants(*trunkFlag, base)
+	if err != nil {
+		return err
+	}
+
+	grid := runner.Grid{Kinds: kinds, Scenarios: scenarios, Seeds: seeds, Variants: variants}
+	jobs := grid.Jobs()
+	fmt.Printf("sweep: %d runs (%d kinds × %d scenarios × %d seeds × %d variants), workers=%d\n",
+		len(jobs), len(kinds), len(scenarios), len(seeds), len(variants), effectiveWorkers(*workers))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep := runner.Sweep(ctx, *workers, jobs)
+
+	printReport(rep)
+	if rep.Failed > 0 {
+		fmt.Printf("%d of %d runs failed\n", rep.Failed, len(rep.Runs))
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("interrupted after %d completed runs", len(rep.Runs)-rep.Failed)
+	}
+	return nil
+}
+
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+func printReport(rep runner.Report) {
+	for _, rec := range rep.Runs {
+		if rec.Err != "" {
+			fmt.Printf("  %-24s seed=%-4d FAILED: %s\n", rec.Group, rec.Seed, rec.Err)
+			continue
+		}
+		fmt.Printf("  %-24s seed=%-4d %s\n", rec.Group, rec.Seed, headline(rec.Result.Metrics))
+	}
+	if len(rep.Merged) == 0 {
+		return
+	}
+	fmt.Println("merged:")
+	keys := make([]string, 0, len(rep.Merged))
+	for k := range rep.Merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := rep.Merged[k]
+		fmt.Printf("  %-36s n=%-3d mean=%.3f min=%.3f max=%.3f std=%.3f\n",
+			k, s.N(), s.Mean(), s.Min(), s.Max(), s.Std())
+	}
+}
+
+// headline picks the run's most informative scalars for the console.
+func headline(m map[string]float64) string {
+	var parts []string
+	for _, key := range []string{"tcp_mbps", "udp_mbps", "udp_loss", "rtt_avg_ms", "jitter_us_128B", "jitter_us_1470B"} {
+		if v, ok := m[key]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%.3f", key, v))
+		}
+	}
+	if len(parts) == 0 {
+		// Fall back to everything, sorted for stable output.
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%.3f", k, m[k]))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseKinds(spec string) ([]experiment.Kind, error) {
+	if strings.EqualFold(spec, "all") {
+		return experiment.AllKinds, nil
+	}
+	var kinds []experiment.Kind
+	for _, name := range strings.Split(spec, ",") {
+		k, err := experiment.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+func parseScenarios(spec string) ([]experiment.Scenario, error) {
+	if strings.EqualFold(spec, "all") {
+		return experiment.AllScenarios, nil
+	}
+	var out []experiment.Scenario
+	for _, name := range strings.Split(spec, ",") {
+		s, err := experiment.ParseScenario(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseSeeds(spec string) ([]int64, error) {
+	if lo, hi, ok := strings.Cut(spec, ":"); ok {
+		a, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+		b, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+		if err1 != nil || err2 != nil || b < a {
+			return nil, fmt.Errorf("bad seed range %q (want lo:hi, lo <= hi)", spec)
+		}
+		seeds := make([]int64, 0, b-a+1)
+		for s := a; s <= b; s++ {
+			seeds = append(seeds, s)
+		}
+		return seeds, nil
+	}
+	var seeds []int64
+	for _, part := range strings.Split(spec, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds, nil
+}
+
+// parseVariants expands the optional trunk-rate grid. With no grid, the
+// single base calibration runs untagged.
+func parseVariants(trunkSpec string, base experiment.Params) ([]runner.Variant, error) {
+	if trunkSpec == "" {
+		return []runner.Variant{{Params: base}}, nil
+	}
+	var out []runner.Variant
+	for _, part := range strings.Split(trunkSpec, ",") {
+		mbps, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || mbps <= 0 || math.IsInf(mbps, 0) {
+			return nil, fmt.Errorf("bad trunk rate %q (want Mbit/s > 0)", part)
+		}
+		p := base
+		p.TrunkRate = mbps * 1e6
+		out = append(out, runner.Variant{Name: fmt.Sprintf("trunk%g", mbps), Params: p})
+	}
+	return out, nil
+}

@@ -89,8 +89,12 @@ func run() error {
 	fmt.Printf("datagrams delivered (unique):   %d\n", st.Unique)
 	fmt.Printf("duplicates leaked:              %d\n", st.Duplicates)
 	pres := pinger.Result()
-	fmt.Printf("ping replies:                   %d/10 (avg RTT %v)\n",
-		pres.Received, pres.RTT.MeanDuration())
+	avgRTT := "n/a"
+	if pres.RTT.N() > 0 {
+		avgRTT = pres.RTT.MeanDuration().String()
+	}
+	fmt.Printf("ping replies:                   %d/10 (avg RTT %s)\n",
+		pres.Received, avgRTT)
 	fmt.Printf("compare: released %d, suppressed %d tampered copies, %d late\n",
 		es.Released, es.Suppressed, es.LateCopies)
 	if st.Unique != src.Sent || st.Duplicates != 0 {

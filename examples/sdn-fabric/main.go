@@ -107,7 +107,11 @@ func run() error {
 	sched.RunFor(100 * time.Millisecond)
 
 	pres := pinger.Result()
-	fmt.Printf("ping: %d/10 replies, avg RTT %v\n", pres.Received, pres.RTT.MeanDuration())
+	avgRTT := "n/a"
+	if pres.RTT.N() > 0 {
+		avgRTT = pres.RTT.MeanDuration().String()
+	}
+	fmt.Printf("ping: %d/10 replies, avg RTT %s\n", pres.Received, avgRTT)
 	fmt.Printf("udp:  %d/%d datagrams, jitter %v\n", sink.Stats().Unique, src.Sent, sink.Stats().Jitter)
 
 	// What the monitor saw (flow counters per switch, like the §VI

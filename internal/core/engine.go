@@ -77,6 +77,8 @@ func (k EventKind) String() string {
 		return "suppressed"
 	case EventDetection:
 		return "detection"
+	case EventPoisoned:
+		return "poisoned"
 	}
 	return "unknown"
 }
@@ -322,14 +324,14 @@ func (e *Engine) sameFrame(en *entry, wire []byte) bool {
 // either argument. The returned events must be acted on by the deployment
 // wrapper before the next call into the engine (they alias engine scratch).
 func (e *Engine) Ingest(now time.Duration, port int, wire []byte, pkt *packet.Packet) []Event {
+	e.poisonScratch()
 	e.stats.Ingested++
 	events := e.scratch[:0]
 	if port < 0 || port >= e.cfg.K {
 		// Unknown ingress: treat as a lone suppressed packet.
 		e.stats.Suppressed++
 		events = append(events, Event{Kind: EventSuppressed, Port: port, Pkt: pkt, Wire: wire, Copies: 1})
-		e.scratch = events
-		return events
+		return e.emit(events)
 	}
 
 	key := e.keyOf(wire, pkt)
@@ -399,6 +401,7 @@ func (e *Engine) emit(events []Event) []Event {
 // detection and port-silence events. Deployments call it periodically.
 // Like Ingest's, the returned slice is valid until the next engine call.
 func (e *Engine) Expire(now time.Duration) []Event {
+	e.poisonScratch()
 	events := e.scratch[:0]
 	cutoff := now - e.cfg.HoldTimeout
 	for e.fifo.n > 0 && e.fifo.peek().first <= cutoff {
@@ -468,6 +471,7 @@ func (e *Engine) retire(en *entry, events []Event) []Event {
 // scanned — the deployment charges a proportional CPU stall, which is the
 // jitter mechanism the paper observes in Fig. 8.
 func (e *Engine) Cleanup(now time.Duration) (events []Event, scanned int) {
+	e.poisonScratch()
 	if e.cfg.CacheCapacity <= 0 || e.size <= e.cfg.CacheCapacity {
 		return nil, 0
 	}

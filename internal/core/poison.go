@@ -1,0 +1,51 @@
+package core
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Scratch poison mode. Events returned by Ingest, Expire and Cleanup alias
+// engine-owned scratch storage and are only valid until the next call into
+// the same engine. A deployment that retains such a slice across calls is
+// reading freed memory in spirit — but in practice the stale values often
+// survive long enough for tests to pass. Poison mode makes the violation
+// deterministic: at the start of every engine call, the events handed out
+// by the previous call are scribbled with EventPoisoned, so any retained
+// slice visibly decays and assertion-based tests (and the -race suite,
+// which runs with NETCO_POISON_SCRATCH=1) catch the bug immediately.
+
+// EventPoisoned marks a scratch event that was invalidated by a later call
+// into the engine. Seeing this kind means the caller violated the event
+// lifetime contract.
+const EventPoisoned EventKind = -1
+
+// scratchPoison enables scribbling globally. An atomic so tests can flip
+// it without racing parallel packages; engines themselves stay
+// single-threaded.
+var scratchPoison atomic.Bool
+
+func init() {
+	if v := os.Getenv("NETCO_POISON_SCRATCH"); v != "" && v != "0" {
+		scratchPoison.Store(true)
+	}
+}
+
+// SetScratchPoison turns poison mode on or off and reports the previous
+// setting, so tests can restore it.
+func SetScratchPoison(on bool) (prev bool) { return scratchPoison.Swap(on) }
+
+// ScratchPoisonEnabled reports whether poison mode is active.
+func ScratchPoisonEnabled() bool { return scratchPoison.Load() }
+
+// poisonScratch scribbles the events handed out by the previous engine
+// call. Called at the top of every entry point, before the scratch array
+// is reused, so a contract-abiding caller never observes it.
+func (e *Engine) poisonScratch() {
+	if !scratchPoison.Load() {
+		return
+	}
+	for i := range e.scratch {
+		e.scratch[i] = Event{Kind: EventPoisoned, Port: -1, Copies: -1}
+	}
+}

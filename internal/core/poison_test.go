@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netco/internal/packet"
+)
+
+func poisonFrame(t *testing.T, seq uint32) ([]byte, *packet.Packet) {
+	t.Helper()
+	p := packet.NewUDP(
+		packet.Endpoint{MAC: packet.HostMAC(1), IP: packet.HostIP(1), Port: 1000},
+		packet.Endpoint{MAC: packet.HostMAC(2), IP: packet.HostIP(2), Port: uint16(2000 + seq)},
+		[]byte("poison-probe"),
+	)
+	return p.Marshal(), p
+}
+
+// A caller that retains the event slice across engine calls must see its
+// events scribbled to EventPoisoned — the contract violation becomes a
+// deterministic test failure instead of silently-stale data.
+func TestScratchPoisonScribblesRetainedEvents(t *testing.T) {
+	prev := SetScratchPoison(true)
+	defer SetScratchPoison(prev)
+
+	e := NewEngine(Config{K: 3})
+	wire, pkt := poisonFrame(t, 0)
+	if ev := e.Ingest(0, 0, wire, pkt); ev != nil {
+		t.Fatalf("first copy released early: %v", ev)
+	}
+	retained := e.Ingest(time.Millisecond, 1, wire, pkt) // majority → release
+	if len(retained) != 1 || retained[0].Kind != EventRelease {
+		t.Fatalf("events = %v, want one release", retained)
+	}
+	// Copying before the next call is the sanctioned pattern and must
+	// survive poisoning.
+	copied := append([]Event(nil), retained...)
+
+	wire2, pkt2 := poisonFrame(t, 1)
+	e.Ingest(2*time.Millisecond, 0, wire2, pkt2)
+
+	if retained[0].Kind != EventPoisoned || retained[0].Port != -1 {
+		t.Fatalf("retained event not poisoned: %+v", retained[0])
+	}
+	if copied[0].Kind != EventRelease {
+		t.Fatalf("copied event was affected by poisoning: %+v", copied[0])
+	}
+}
+
+// Every entry point invalidates the previous call's events, including
+// Expire and a Cleanup that early-returns under capacity.
+func TestScratchPoisonCoversAllEntryPoints(t *testing.T) {
+	prev := SetScratchPoison(true)
+	defer SetScratchPoison(prev)
+
+	for _, next := range []string{"ingest", "expire", "cleanup"} {
+		e := NewEngine(Config{K: 3, HoldTimeout: time.Millisecond})
+		wire, pkt := poisonFrame(t, 0)
+		e.Ingest(0, 0, wire, pkt)
+		retained := e.Ingest(0, 1, wire, pkt)
+		if len(retained) != 1 {
+			t.Fatalf("%s: want one release event", next)
+		}
+		switch next {
+		case "ingest":
+			w2, p2 := poisonFrame(t, 1)
+			e.Ingest(0, 0, w2, p2)
+		case "expire":
+			e.Expire(time.Hour)
+		case "cleanup":
+			e.Cleanup(0) // under capacity: still a call into the engine
+		}
+		if retained[0].Kind != EventPoisoned {
+			t.Fatalf("after %s: retained event not poisoned: %+v", next, retained[0])
+		}
+	}
+}
+
+// Poison off (the default) leaves scratch alone between calls, so the
+// optimisation of reusing the backing array stays observable only through
+// the documented contract, not through behaviour changes.
+func TestScratchPoisonDisabledLeavesScratchAlone(t *testing.T) {
+	prev := SetScratchPoison(false)
+	defer SetScratchPoison(prev)
+
+	e := NewEngine(Config{K: 3})
+	wire, pkt := poisonFrame(t, 0)
+	e.Ingest(0, 0, wire, pkt)
+	retained := e.Ingest(0, 1, wire, pkt)
+	e.Cleanup(0)
+	if retained[0].Kind != EventRelease {
+		t.Fatalf("events mutated with poison disabled: %+v", retained[0])
+	}
+}

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"netco/internal/metrics"
+)
+
+// Kind enumerates the experiment units the sweep runner can schedule.
+// Each is a pure function of (Params, Scenario, seed): it builds a fresh
+// testbed — its own scheduler, pools and engines — runs to completion,
+// and returns a flat Result. Nothing is shared between invocations, so
+// any number may run concurrently on separate goroutines.
+type Kind int
+
+// Schedulable experiment kinds.
+const (
+	// KindTCP is the Fig. 4 measurement: TCP bulk goodput.
+	KindTCP Kind = iota + 1
+	// KindUDP is the Fig. 5 measurement: max UDP rate under the loss goal.
+	KindUDP
+	// KindPing is the Fig. 7 measurement: ICMP echo RTT.
+	KindPing
+	// KindJitter is the Fig. 8 measurement: UDP jitter across packet sizes.
+	KindJitter
+)
+
+// AllKinds lists every schedulable kind.
+var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter}
+
+// String names the kind for CLIs and artifacts.
+func (k Kind) String() string {
+	switch k {
+	case KindTCP:
+		return "tcp"
+	case KindUDP:
+		return "udp"
+	case KindPing:
+		return "ping"
+	case KindJitter:
+		return "jitter"
+	}
+	return "unknown"
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range AllKinds {
+		if strings.EqualFold(name, k.String()) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping or jitter)", name)
+}
+
+// ParseScenario resolves a paper scenario name (case-insensitive).
+func ParseScenario(name string) (Scenario, error) {
+	for s := ScenLinespeed; s <= ScenInline3; s++ {
+		if strings.EqualFold(name, s.String()) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: unknown scenario %q", name)
+}
+
+// Result is one experiment run's outcome in a flat, merge-friendly form:
+// scalar metrics for reporting plus summaries the sweep runner merges
+// across runs of the same (kind, scenario) group. All fields marshal
+// deterministically (encoding/json sorts map keys), which is what lets
+// the sweep CLI promise byte-identical artifacts regardless of worker
+// count.
+type Result struct {
+	Kind     string `json:"kind"`
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	// Metrics holds the run's scalar measurements. NaN/Inf values (e.g.
+	// statistics of an empty sample set) are omitted rather than faked
+	// as zeros — JSON cannot carry them.
+	Metrics map[string]float64 `json:"metrics"`
+	// Summaries holds the run's distributions, mergeable across runs via
+	// metrics.Summary.Merge.
+	Summaries map[string]metrics.Summary `json:"summaries,omitempty"`
+}
+
+// setMetric records a scalar, dropping non-finite values.
+func (r *Result) setMetric(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	r.Metrics[name] = v
+}
+
+func (r *Result) addSummary(name string, s metrics.Summary) {
+	if s.N() == 0 {
+		return
+	}
+	if r.Summaries == nil {
+		r.Summaries = make(map[string]metrics.Summary)
+	}
+	r.Summaries[name] = s
+}
+
+// Run executes one experiment kind as a pure function of its inputs. The
+// seed argument overrides p.Seed, so a sweep can fan one Params out
+// across a seed grid without mutating shared state. Run never shares
+// schedulers, pools or engines with other invocations; it is safe to
+// call from many goroutines at once.
+func Run(k Kind, p Params, s Scenario, seed int64) Result {
+	p.Seed = seed
+	res := Result{
+		Kind:     k.String(),
+		Scenario: s.String(),
+		Seed:     seed,
+		Metrics:  make(map[string]float64),
+	}
+	switch k {
+	case KindTCP:
+		tr := RunTCP(p, s)
+		res.setMetric("tcp_mbps", tr.Mbps)
+		res.setMetric("tcp_retransmits", float64(tr.Retransmits))
+		res.setMetric("tcp_timeouts", float64(tr.Timeouts))
+		res.setMetric("tcp_dup_acks", float64(tr.DupAcks))
+		var runs metrics.Summary
+		for _, mbps := range tr.Runs {
+			runs.Add(mbps)
+		}
+		res.addSummary("tcp_mbps", runs)
+	case KindUDP:
+		ur := RunUDPMax(p, s)
+		res.setMetric("udp_mbps", ur.Mbps)
+		res.setMetric("udp_loss", ur.Loss)
+		var runs metrics.Summary
+		runs.Add(ur.Mbps)
+		res.addSummary("udp_mbps", runs)
+	case KindPing:
+		pr := RunPing(p, s)
+		res.setMetric("ping_sent", float64(pr.Sent))
+		res.setMetric("ping_received", float64(pr.Received))
+		if pr.Received > 0 {
+			res.setMetric("rtt_avg_ms", pr.AvgRTT.Seconds()*1e3)
+			res.setMetric("rtt_min_ms", pr.MinRTT.Seconds()*1e3)
+			res.setMetric("rtt_max_ms", pr.MaxRTT.Seconds()*1e3)
+			var rtt metrics.Summary
+			rtt.Add(pr.AvgRTT.Seconds() * 1e3)
+			res.addSummary("rtt_avg_ms", rtt)
+		}
+	case KindJitter:
+		var across metrics.Summary
+		for _, pt := range RunJitter(p, s, nil) {
+			us := float64(pt.Jitter) / float64(time.Microsecond)
+			res.setMetric(fmt.Sprintf("jitter_us_%dB", pt.PayloadSize), us)
+			res.setMetric(fmt.Sprintf("loss_%dB", pt.PayloadSize), pt.Loss)
+			across.Add(us)
+		}
+		res.addSummary("jitter_us", across)
+	default:
+		panic(fmt.Sprintf("experiment: unknown Kind %d", k))
+	}
+	return res
+}

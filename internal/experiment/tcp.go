@@ -64,7 +64,9 @@ func runTCP(p Params, s Scenario, build func() *topo.Testbed) TCPResult {
 		res.DupAcks += st.DupAcksSeen
 		tb.Close()
 	}
-	res.Mbps = metrics.Mbps(sum.Mean())
+	if sum.N() > 0 {
+		res.Mbps = metrics.Mbps(sum.Mean())
+	}
 	return res
 }
 

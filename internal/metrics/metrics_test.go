@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -29,8 +30,115 @@ func TestSummaryBasics(t *testing.T) {
 
 func TestSummaryEmpty(t *testing.T) {
 	var s Summary
-	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 || s.Min() != 0 || s.Max() != 0 {
-		t.Fatal("empty summary not all-zero")
+	if s.N() != 0 || s.Std() != 0 {
+		t.Fatalf("empty summary N/Std = %d/%v, want 0/0", s.N(), s.Std())
+	}
+	// Statistics of an empty sample set are NaN, not 0 — a reporter must
+	// never render them as real measurements.
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty summary Mean/Min/Max = %v/%v/%v, want NaN", s.Mean(), s.Min(), s.Max())
+	}
+	if s.MeanDuration() != 0 {
+		t.Fatalf("empty MeanDuration = %v, want 0 (gate on N)", s.MeanDuration())
+	}
+}
+
+func TestSummaryMergeMatchesSingleThreadedReference(t *testing.T) {
+	samples := []float64{3.5, -2, 8, 8, 0.25, 17, -9.5, 4, 4, 11, 0.125, 6}
+	// Reference: all samples folded into one summary.
+	var ref Summary
+	for _, x := range samples {
+		ref.Add(x)
+	}
+	// Split into three shards (as the parallel runner would), then merge.
+	var a, b, c Summary
+	for i, x := range samples {
+		switch i % 3 {
+		case 0:
+			a.Add(x)
+		case 1:
+			b.Add(x)
+		case 2:
+			c.Add(x)
+		}
+	}
+	var got Summary
+	got.Merge(a)
+	got.Merge(b)
+	got.Merge(c)
+
+	if got.N() != ref.N() {
+		t.Fatalf("merged N = %d, want %d", got.N(), ref.N())
+	}
+	if math.Abs(got.Mean()-ref.Mean()) > 1e-12 {
+		t.Fatalf("merged Mean = %v, want %v", got.Mean(), ref.Mean())
+	}
+	if math.Abs(got.Std()-ref.Std()) > 1e-12 {
+		t.Fatalf("merged Std = %v, want %v", got.Std(), ref.Std())
+	}
+	if got.Min() != ref.Min() || got.Max() != ref.Max() {
+		t.Fatalf("merged Min/Max = %v/%v, want %v/%v", got.Min(), got.Max(), ref.Min(), ref.Max())
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var empty, s Summary
+	s.Add(5)
+	s.Add(7)
+
+	got := s
+	got.Merge(empty) // no-op
+	if got.N() != 2 || got.Mean() != 6 {
+		t.Fatalf("merge(empty) changed summary: N=%d Mean=%v", got.N(), got.Mean())
+	}
+	var dst Summary
+	dst.Merge(s) // adopt
+	if dst.N() != 2 || dst.Mean() != 6 || dst.Min() != 5 || dst.Max() != 7 {
+		t.Fatalf("empty.Merge(s) = N=%d Mean=%v Min=%v Max=%v", dst.N(), dst.Mean(), dst.Min(), dst.Max())
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 10} {
+		s.Add(x)
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != s.N() || back.Mean() != s.Mean() || back.Min() != s.Min() ||
+		back.Max() != s.Max() || math.Abs(back.Std()-s.Std()) > 1e-12 {
+		t.Fatalf("round trip lost state: %+v vs %+v", back, s)
+	}
+	// The restored summary keeps merging correctly.
+	var more Summary
+	more.Add(20)
+	back.Merge(more)
+	if back.N() != 5 || back.Max() != 20 {
+		t.Fatalf("merge after round trip: N=%d Max=%v", back.N(), back.Max())
+	}
+
+	// Empty summaries marshal as {"n":0} — no fake zero measurements, no
+	// NaN (which JSON cannot carry).
+	var empty Summary
+	buf, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != `{"n":0}` {
+		t.Fatalf("empty summary JSON = %s", buf)
+	}
+	var backEmpty Summary
+	if err := json.Unmarshal(buf, &backEmpty); err != nil {
+		t.Fatal(err)
+	}
+	if backEmpty.N() != 0 || !math.IsNaN(backEmpty.Min()) {
+		t.Fatalf("empty round trip: N=%d Min=%v", backEmpty.N(), backEmpty.Min())
 	}
 }
 

@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+
+	"netco/internal/experiment"
+	"netco/internal/metrics"
+)
+
+// Job is one schedulable experiment run: a pure (Kind, Params, Scenario,
+// seed) tuple. Variant optionally tags a parameter-grid point so runs of
+// the same measurement at different calibrations merge into distinct
+// groups.
+type Job struct {
+	Kind     experiment.Kind
+	Scenario experiment.Scenario
+	Params   experiment.Params
+	Seed     int64
+	Variant  string
+}
+
+// Group keys the job for merging: runs with equal groups (same variant,
+// kind and scenario, across seeds) aggregate into one merged summary.
+func (j Job) Group() string {
+	g := j.Kind.String() + "/" + j.Scenario.String()
+	if j.Variant != "" {
+		g = j.Variant + "/" + g
+	}
+	return g
+}
+
+// Variant is one point of a parameter grid.
+type Variant struct {
+	Name   string
+	Params experiment.Params
+}
+
+// Grid is a sweep specification: the cross product of variants, kinds,
+// scenarios and seeds.
+type Grid struct {
+	Kinds     []experiment.Kind
+	Scenarios []experiment.Scenario
+	Seeds     []int64
+	Variants  []Variant
+}
+
+// Jobs expands the grid in deterministic order (variant, kind, scenario,
+// seed — seeds innermost so one group's runs are contiguous).
+func (g Grid) Jobs() []Job {
+	var jobs []Job
+	for _, v := range g.Variants {
+		for _, k := range g.Kinds {
+			for _, s := range g.Scenarios {
+				for _, seed := range g.Seeds {
+					jobs = append(jobs, Job{Kind: k, Scenario: s, Params: v.Params, Seed: seed, Variant: v.Name})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// RunRecord is one job's outcome in the report. Exactly one of Result
+// and Err is set. Err is a short deterministic description (for panics,
+// "panic: <value>" without the stack), so artifacts compare bytewise
+// across reruns.
+type RunRecord struct {
+	Group  string             `json:"group"`
+	Seed   int64              `json:"seed"`
+	Result *experiment.Result `json:"result,omitempty"`
+	Err    string             `json:"err,omitempty"`
+}
+
+// Report is a sweep's full outcome: every run in job order plus the
+// per-group merged summaries. It contains no wall-clock fields — the
+// report for a given job list is byte-identical regardless of worker
+// count, machine or run time.
+type Report struct {
+	Runs   []RunRecord                `json:"runs"`
+	Merged map[string]metrics.Summary `json:"merged"`
+	Failed int                        `json:"failed"`
+}
+
+// Sweep executes the jobs across the worker pool and assembles the
+// report. Results appear in job order; summaries merge in job order
+// (metric keyed "<group>.<summary>"), so the merged statistics equal the
+// single-threaded fold exactly.
+func Sweep(ctx context.Context, workers int, jobs []Job) Report {
+	results, errs := Map(ctx, workers, len(jobs), func(i int) (experiment.Result, error) {
+		j := jobs[i]
+		return experiment.Run(j.Kind, j.Params, j.Scenario, j.Seed), nil
+	})
+
+	rep := Report{Runs: make([]RunRecord, len(jobs)), Merged: make(map[string]metrics.Summary)}
+	for i, j := range jobs {
+		rec := RunRecord{Group: j.Group(), Seed: j.Seed}
+		if errs[i] != nil {
+			rec.Err = errs[i].Error()
+			rep.Failed++
+		} else {
+			r := results[i]
+			rec.Result = &r
+			for _, name := range summaryNames(r.Summaries) {
+				key := rec.Group + "." + name
+				merged := rep.Merged[key]
+				merged.Merge(r.Summaries[name])
+				rep.Merged[key] = merged
+			}
+		}
+		rep.Runs[i] = rec
+	}
+	return rep
+}
+
+// summaryNames returns the summary keys in sorted order so merging is
+// order-stable (Merge is not exactly commutative in floating point).
+func summaryNames(m map[string]metrics.Summary) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the report as indented JSON. encoding/json sorts map
+// keys, so equal reports serialise to equal bytes.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

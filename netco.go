@@ -22,6 +22,7 @@
 package netco
 
 import (
+	"context"
 	"time"
 
 	"netco/internal/adversary"
@@ -31,6 +32,7 @@ import (
 	"netco/internal/netem"
 	"netco/internal/openflow"
 	"netco/internal/packet"
+	"netco/internal/runner"
 	"netco/internal/sim"
 	"netco/internal/switching"
 	"netco/internal/topo"
@@ -401,3 +403,39 @@ func RunCaseStudy(p Params) CaseStudyResult { return experiment.RunCaseStudy(p) 
 
 // RunVirtual demonstrates the §VII virtualized combiner.
 func RunVirtual(p Params) VirtualResult { return experiment.RunVirtual(p) }
+
+// Parallel sweeps (cmd/netco-sweep is the CLI over these).
+type (
+	// ExperimentKind selects a schedulable experiment unit; Run executes
+	// one as a pure function of (Params, Scenario, seed).
+	ExperimentKind = experiment.Kind
+	// ExperimentResult is one run's flat, mergeable outcome.
+	ExperimentResult = experiment.Result
+	// SweepJob is one (kind, params, scenario, seed) run; SweepGrid the
+	// cross product a sweep expands; SweepReport the merged artifact.
+	SweepJob     = runner.Job
+	SweepGrid    = runner.Grid
+	SweepVariant = runner.Variant
+	SweepReport  = runner.Report
+)
+
+// Experiment kinds, re-exported.
+const (
+	ExperimentTCP    = experiment.KindTCP
+	ExperimentUDP    = experiment.KindUDP
+	ExperimentPing   = experiment.KindPing
+	ExperimentJitter = experiment.KindJitter
+)
+
+// RunExperiment executes one experiment kind in isolation: a fresh
+// scheduler, pools and engines per call, safe to invoke from many
+// goroutines at once.
+func RunExperiment(k ExperimentKind, p Params, s Scenario, seed int64) ExperimentResult {
+	return experiment.Run(k, p, s, seed)
+}
+
+// Sweep fans jobs out across a worker pool of isolated simulations
+// (workers <= 0 uses GOMAXPROCS) and returns the deterministic report.
+func Sweep(ctx context.Context, workers int, jobs []SweepJob) SweepReport {
+	return runner.Sweep(ctx, workers, jobs)
+}
