@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench sweep-smoke
+.PHONY: check vet build test race bench-guard bench bench-flows sweep-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
 # the race detector (with scratch poisoning on, so retained engine events
@@ -44,7 +44,17 @@ sweep-smoke:
 bench-guard:
 	$(GO) test -run '^$$' -bench 'SteadyState|Churn|EngineExpire' -benchtime 1x -benchmem \
 		./internal/core/ ./internal/sim/
+	$(GO) test -run '^$$' -bench 'FlowTableLookup|SwitchPipeline' -benchtime 1x -benchmem \
+		./internal/openflow/ ./internal/switching/
 
 # bench reproduces the headline end-to-end number recorded in BENCH_1.json.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineIngest$$' -benchmem -benchtime 3s .
+
+# bench-flows reproduces the classifier numbers recorded in BENCH_3.json:
+# two-tier lookup vs the seed's linear scan at 8/64/512 rules, plus the
+# whole switch ingress pipeline. The classifier differential test and the
+# zero-alloc guards run as part of `race` above.
+bench-flows:
+	$(GO) test -run '^$$' -bench 'FlowTableLookup' -benchmem -benchtime 1s ./internal/openflow/
+	$(GO) test -run '^$$' -bench 'SwitchPipeline' -benchmem -benchtime 1s ./internal/switching/

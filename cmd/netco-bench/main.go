@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"netco"
+	netmetrics "netco/internal/metrics"
 	"netco/internal/runner"
 )
 
@@ -259,7 +260,19 @@ func run() error {
 		// The event-rate soak is the perf-trajectory headline (see
 		// BENCH_1.json): simulated scheduler events per wall second on
 		// the Central3 UDP workload.
-		metrics["events_per_sec"] = eventRate(p)
+		rate, cs := eventRate(p)
+		metrics["events_per_sec"] = rate
+		fmt.Printf("classifier: %d lookups, %.1f%% microflow hits, %d tuple searches (%d mask probes), %d misses, %d masks\n",
+			cs.Lookups, cs.HitRate()*100, cs.TupleLookups, cs.MaskProbes, cs.Misses, cs.Masks)
+		metrics["classifier.lookups"] = float64(cs.Lookups)
+		metrics["classifier.microflow_hits"] = float64(cs.MicroflowHits)
+		metrics["classifier.tuple_lookups"] = float64(cs.TupleLookups)
+		metrics["classifier.mask_probes"] = float64(cs.MaskProbes)
+		metrics["classifier.misses"] = float64(cs.Misses)
+		metrics["classifier.masks"] = float64(cs.Masks)
+		if cs.Lookups > 0 {
+			metrics["classifier.hit_rate"] = cs.HitRate()
+		}
 		if err := writeJSON(*jsonPath, *seed, time.Since(start), metrics); err != nil {
 			return err
 		}
@@ -281,8 +294,9 @@ func run() error {
 // eventRate measures the simulator's wall-clock event rate: a Central3
 // testbed under 100 Mbit/s UDP, 250 simulated milliseconds, reported as
 // scheduler events per wall second. This is the same workload as the
-// repo-level BenchmarkEngineIngest.
-func eventRate(p netco.Params) float64 {
+// repo-level BenchmarkEngineIngest. It also returns the flow-table
+// classifier counters aggregated across every switch in the testbed.
+func eventRate(p netco.Params) (float64, netmetrics.ClassifierStats) {
 	tb := netco.BuildTestbed(p.TestbedParams(netco.Central3, nil))
 	defer tb.Close()
 	netco.NewUDPSink(tb.H2, 5001)
@@ -296,10 +310,17 @@ func eventRate(p netco.Params) float64 {
 	tb.Sched.RunFor(250 * time.Millisecond)
 	secs := time.Since(wall).Seconds()
 	src.Stop()
-	if secs <= 0 {
-		return 0
+	var cs netmetrics.ClassifierStats
+	for _, sw := range tb.Routers {
+		cs.Merge(sw.Table().Stats())
 	}
-	return float64(tb.Sched.Executed()-before) / secs
+	for _, sw := range tb.Edges {
+		cs.Merge(sw.Table().Stats())
+	}
+	if secs <= 0 {
+		return 0, cs
+	}
+	return float64(tb.Sched.Executed()-before) / secs, cs
 }
 
 // writeJSON dumps the headline metrics of the run in a stable,

@@ -1,0 +1,207 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// linearFlowTable reimplements the seed's classifier — a full-table
+// timeout sweep followed by a linear priority-ordered scan on every
+// lookup — as the permanent baseline the two-tier numbers in
+// BENCH_3.json are measured against.
+type linearFlowTable struct {
+	sched   *sim.Scheduler
+	entries []*FlowEntry
+}
+
+func (t *linearFlowTable) add(e *FlowEntry) {
+	e.installed = t.sched.Now()
+	e.lastUsed = e.installed
+	t.entries = append(t.entries, e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		return t.entries[i].Priority > t.entries[j].Priority
+	})
+}
+
+func (t *linearFlowTable) lookup(inPort uint16, pkt *packet.Packet) *FlowEntry {
+	now := t.sched.Now()
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		switch {
+		case e.HardTimeout > 0 && now-e.installed >= e.HardTimeout:
+		case e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout:
+		default:
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	for _, e := range t.entries {
+		if e.Match.Matches(inPort, pkt) {
+			e.Packets++
+			e.Bytes += uint64(pkt.WireLen())
+			e.lastUsed = now
+			return e
+		}
+	}
+	return nil
+}
+
+// macRule is the fat-tree case-study rule shape: per-host dl_dst match.
+func macRule(i int) *FlowEntry {
+	return &FlowEntry{
+		Priority: 100,
+		Match:    MatchAll().WithDlDst(packet.HostMAC(uint32(i))),
+		Actions:  []Action{Output(uint16(i % 4))},
+	}
+}
+
+func benchPackets(n int) []*packet.Packet {
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		pkts[i] = packet.NewUDP(
+			packet.Endpoint{MAC: packet.HostMAC(1000), IP: packet.HostIP(1000), Port: 4001},
+			packet.Endpoint{MAC: packet.HostMAC(uint32(i)), IP: packet.HostIP(uint32(i)), Port: 5001},
+			[]byte("payload"),
+		)
+	}
+	return pkts
+}
+
+var tableSizes = []int{8, 64, 512}
+
+// workingSet caps the concurrent-flow count at the table size so every
+// benchmark packet has a matching rule.
+func workingSet(n int) int {
+	if n < 16 {
+		return n
+	}
+	return 16
+}
+
+// BenchmarkFlowTableLookup measures the two-tier classifier in steady
+// state: a small working set of flows over an n-entry table, so lookups
+// after warm-up are microflow-cache hits. This is the headline number
+// recorded in BENCH_3.json; per-op cost must be flat across table sizes
+// and allocation-free.
+func BenchmarkFlowTableLookup(b *testing.B) {
+	for _, n := range tableSizes {
+		b.Run(fmt.Sprintf("%dentries", n), func(b *testing.B) {
+			sched := sim.NewScheduler()
+			tbl := NewFlowTable(sched)
+			for i := 0; i < n; i++ {
+				tbl.Add(macRule(i))
+			}
+			pkts := benchPackets(workingSet(n)) // concurrent microflows, all matching rules
+			for _, p := range pkts {
+				tbl.Lookup(3, p) // warm the cache
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if tbl.Lookup(3, pkts[i%len(pkts)]) == nil {
+					b.Fatal("unexpected miss")
+				}
+			}
+			s := tbl.Stats()
+			b.ReportMetric(s.HitRate()*100, "hit%")
+		})
+	}
+}
+
+// BenchmarkFlowTableLookupTier2 forces every lookup through the
+// tuple-space search by invalidating the microflow cache each time —
+// the cost a table mutation storm would expose.
+func BenchmarkFlowTableLookupTier2(b *testing.B) {
+	for _, n := range tableSizes {
+		b.Run(fmt.Sprintf("%dentries", n), func(b *testing.B) {
+			sched := sim.NewScheduler()
+			tbl := NewFlowTable(sched)
+			for i := 0; i < n; i++ {
+				tbl.Add(macRule(i))
+			}
+			pkts := benchPackets(workingSet(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tbl.gen++ // invalidate tier 1: every lookup re-searches
+				if tbl.Lookup(3, pkts[i%len(pkts)]) == nil {
+					b.Fatal("unexpected miss")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlowTableLookupLinear is the seed baseline on the identical
+// workload.
+func BenchmarkFlowTableLookupLinear(b *testing.B) {
+	for _, n := range tableSizes {
+		b.Run(fmt.Sprintf("%dentries", n), func(b *testing.B) {
+			sched := sim.NewScheduler()
+			tbl := &linearFlowTable{sched: sched}
+			for i := 0; i < n; i++ {
+				tbl.add(macRule(i))
+			}
+			pkts := benchPackets(workingSet(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if tbl.lookup(3, pkts[i%len(pkts)]) == nil {
+					b.Fatal("unexpected miss")
+				}
+			}
+		})
+	}
+}
+
+// TestFlowTableLookupZeroAlloc is the hard guarantee behind the
+// benchmarks: steady-state lookups allocate nothing, on the microflow
+// path and on the tuple-space path alike.
+func TestFlowTableLookupZeroAlloc(t *testing.T) {
+	sched := sim.NewScheduler()
+	tbl := NewFlowTable(sched)
+	for i := 0; i < 64; i++ {
+		tbl.Add(macRule(i))
+	}
+	pkts := benchPackets(8)
+	for _, p := range pkts {
+		tbl.Lookup(3, p)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, p := range pkts {
+			if tbl.Lookup(3, p) == nil {
+				t.Fatal("miss")
+			}
+		}
+	}); avg != 0 {
+		t.Fatalf("microflow-hit Lookup allocates %.1f/run, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		tbl.gen++ // force tier 2
+		for _, p := range pkts {
+			if tbl.Lookup(3, p) == nil {
+				t.Fatal("miss")
+			}
+		}
+	}); avg != 0 {
+		t.Fatalf("tuple-search Lookup allocates %.1f/run, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		pkt := pkts[0]
+		save := pkt.Eth.Dst
+		pkt.Eth.Dst = packet.HostMAC(9999) // matches no rule
+		if tbl.Lookup(3, pkt) != nil {
+			t.Fatal("unexpected hit")
+		}
+		pkt.Eth.Dst = save
+	}); avg != 0 {
+		t.Fatalf("table-miss Lookup allocates %.1f/run, want 0", avg)
+	}
+}

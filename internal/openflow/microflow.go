@@ -1,0 +1,62 @@
+package openflow
+
+import (
+	"netco/internal/packet"
+)
+
+// This file implements tier 1 of the flow classifier: an OVS-EMC-style
+// exact-match microflow cache mapping (inPort, header fingerprint)
+// straight to the winning *FlowEntry. Hits skip the tuple-space search
+// entirely, so steady-state per-packet cost is independent of rule count.
+//
+// Invalidation is generational: every table mutation (Add, Delete,
+// expiry) bumps the table's generation counter, and a slot is only
+// trusted when its stored generation matches — no flush scans, and a
+// stale slot costs exactly one tier-2 search to refresh.
+
+// microSlots is the fixed cache size: 512 direct-mapped slots is 16 KiB
+// per table, large enough that the handful of concurrent microflows a
+// simulated port sees never thrash it.
+const microSlots = 512
+
+type microSlot struct {
+	hash   uint64
+	gen    uint64
+	inPort uint16
+	entry  *FlowEntry
+}
+
+// microCache is a fixed-size direct-mapped cache. It lives inline in the
+// FlowTable (no pointers to chase, no allocation ever).
+type microCache struct {
+	slots [microSlots]microSlot
+}
+
+func microIndex(hash uint64, inPort uint16) uint64 {
+	// Fold the ingress port into the slot index so the same frame seen
+	// on two ports (a combiner replicates frames!) occupies two slots.
+	return (hash ^ uint64(inPort)*0x9e3779b97f4a7c15) & (microSlots - 1)
+}
+
+// get returns the cached winning entry for (inPort, hash) under the
+// current table generation, or nil. The Match re-check keeps a 64-bit
+// fingerprint collision from ever returning an entry the packet does not
+// satisfy; the residual risk — a colliding header tuple that satisfies
+// the cached winner but has a different true winner — is accepted, as in
+// any fingerprint-keyed flow cache.
+func (c *microCache) get(hash uint64, inPort uint16, gen uint64, pkt *packet.Packet) *FlowEntry {
+	s := &c.slots[microIndex(hash, inPort)]
+	if s.entry == nil || s.gen != gen || s.hash != hash || s.inPort != inPort {
+		return nil
+	}
+	if !s.entry.Match.Matches(inPort, pkt) {
+		return nil
+	}
+	return s.entry
+}
+
+// put caches the winning entry for (inPort, hash) at the current
+// generation, evicting whatever occupied the slot.
+func (c *microCache) put(hash uint64, inPort uint16, gen uint64, e *FlowEntry) {
+	c.slots[microIndex(hash, inPort)] = microSlot{hash: hash, gen: gen, inPort: inPort, entry: e}
+}

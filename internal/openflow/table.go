@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"netco/internal/metrics"
 	"netco/internal/packet"
 	"netco/internal/sim"
 )
@@ -27,6 +28,7 @@ type FlowEntry struct {
 	installed time.Duration
 	lastUsed  time.Duration
 	seq       uint64
+	dead      bool // set once the entry leaves the table
 }
 
 // Duration returns how long the entry has been installed.
@@ -42,15 +44,42 @@ const (
 	RemovedDelete      RemovedReason = 2
 )
 
-// FlowTable is a priority-ordered OpenFlow 1.0 flow table with lazy
-// timeout expiry.
+// FlowTable is a priority-ordered OpenFlow 1.0 flow table with a two-tier
+// lookup classifier and timer-driven timeout expiry.
+//
+// Tier 1 is an exact-match microflow cache keyed by (inPort, header
+// fingerprint); tier 2 is a tuple-space search over per-mask hash tables
+// (see microflow.go and classifier.go). Steady-state Lookup therefore
+// costs O(1) regardless of how many rules are installed, and allocates
+// nothing. Idle/hard timeouts are serviced by a deadline heap driven off
+// the simulation scheduler (expiry.go), so FlowRemoved fires at the
+// exact virtual time a timeout elapses, not at the next packet.
 type FlowTable struct {
-	sched   *sim.Scheduler
+	sched *sim.Scheduler
+	// entries stays sorted in lookup order (priority descending,
+	// insertion sequence ascending) for Entries(), Delete subsumption
+	// scans and Sweep — control-plane paths only; Lookup never walks it.
 	entries []*FlowEntry
 	seq     uint64
+	// gen is the classifier generation, bumped on every mutation; the
+	// microflow cache trusts a slot only when its generation matches.
+	gen uint64
+
+	micro microCache
+	ts    tupleSpace
+
+	// Deadline-ordered expiry state (expiry.go).
+	expiry   deadlineHeap
+	timer    sim.Timer
+	timerAt  time.Duration
+	timerSet bool
+
+	stats metrics.ClassifierStats
 
 	// OnRemoved, when non-nil, is invoked for every entry leaving the
 	// table (the hook the switch uses to emit FlowRemoved messages).
+	// Callbacks fire only after the table has been fully updated, so a
+	// callback may safely re-install or delete rules.
 	OnRemoved func(e *FlowEntry, reason RemovedReason)
 
 	// Misses counts lookups that matched no entry.
@@ -72,27 +101,85 @@ func (t *FlowTable) Entries() []*FlowEntry {
 	return out
 }
 
+// Stats returns a snapshot of the classifier counters.
+func (t *FlowTable) Stats() metrics.ClassifierStats {
+	s := t.stats
+	s.Misses = t.Misses
+	s.Masks = len(t.ts.groups)
+	return s
+}
+
+// removal pairs an entry with its removal reason while callbacks are
+// deferred past the structural mutation.
+type removal struct {
+	e      *FlowEntry
+	reason RemovedReason
+}
+
+// fire invokes OnRemoved for each collected removal, after the table is
+// already consistent.
+func (t *FlowTable) fire(removed []removal) {
+	if t.OnRemoved == nil {
+		return
+	}
+	for _, r := range removed {
+		t.OnRemoved(r.e, r.reason)
+	}
+}
+
+// attach inserts an entry into every lookup structure. The entry's seq
+// must already be assigned.
+func (t *FlowTable) attach(e *FlowEntry) {
+	i := sort.Search(len(t.entries), func(i int) bool { return !better(t.entries[i], e) })
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	t.ts.add(e)
+	t.gen++
+	t.scheduleExpiry(e)
+}
+
+// detach removes an entry from every lookup structure and marks it dead
+// so pending expiry-heap nodes for it are discarded lazily.
+func (t *FlowTable) detach(e *FlowEntry) {
+	for i, cand := range t.entries {
+		if cand == e {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			break
+		}
+	}
+	t.ts.remove(e)
+	e.dead = true
+	t.gen++
+}
+
 // Add installs an entry. An entry with an identical match and priority
 // replaces the existing one, keeping its counters at zero (OFPFC_ADD
-// semantics without OFPFF_CHECK_OVERLAP).
+// semantics without OFPFF_CHECK_OVERLAP). The replacement inherits the
+// old entry's position in lookup order, as the in-place replacement of
+// the linear table did.
 func (t *FlowTable) Add(e *FlowEntry) {
 	now := t.sched.Now()
 	e.installed = now
 	e.lastUsed = now
-	e.seq = t.seq
-	t.seq++
-	for i, old := range t.entries {
+	e.dead = false
+	replaced := false
+	for _, old := range t.entries {
 		if old.Priority == e.Priority && old.Match == e.Match {
-			t.entries[i] = e
-			return
+			e.seq = old.seq
+			t.detach(old)
+			replaced = true
+			break
 		}
 	}
-	t.entries = append(t.entries, e)
-	// Highest priority first; ties broken by insertion order for
-	// determinism.
-	sort.SliceStable(t.entries, func(i, j int) bool {
-		return t.entries[i].Priority > t.entries[j].Priority
-	})
+	if !replaced {
+		e.seq = t.seq
+		t.seq++
+	}
+	t.attach(e)
+	if replaced {
+		t.rearm() // the replaced entry may have owned the armed timer
+	}
 }
 
 // Delete removes entries. With strict set, only an exact match+priority
@@ -100,8 +187,7 @@ func (t *FlowTable) Add(e *FlowEntry) {
 // removed (OFPFC_DELETE semantics). outPort, when not PortNone, restricts
 // deletion to entries with an output action to that port.
 func (t *FlowTable) Delete(m Match, priority uint16, strict bool, outPort uint16) int {
-	removed := 0
-	kept := t.entries[:0]
+	var doomed []removal
 	for _, e := range t.entries {
 		del := false
 		if strict {
@@ -119,56 +205,62 @@ func (t *FlowTable) Delete(m Match, priority uint16, strict bool, outPort uint16
 			}
 		}
 		if del {
-			removed++
-			if t.OnRemoved != nil {
-				t.OnRemoved(e, RemovedDelete)
-			}
-			continue
+			doomed = append(doomed, removal{e, RemovedDelete})
 		}
-		kept = append(kept, e)
 	}
-	t.entries = kept
-	return removed
+	for _, r := range doomed {
+		t.detach(r.e)
+	}
+	if len(doomed) > 0 {
+		t.rearm() // release timers whose entries just left
+	}
+	t.fire(doomed)
+	return len(doomed)
 }
 
 // Lookup returns the highest-priority entry matching the packet, updating
-// its counters and idle timer, after expiring any timed-out entries. It
-// returns nil on a table miss.
+// its counters and idle timer. It returns nil on a table miss. Lookup
+// does no expiry work: timeouts are handled by scheduler timers.
 func (t *FlowTable) Lookup(inPort uint16, pkt *packet.Packet) *FlowEntry {
-	t.expire()
-	for _, e := range t.entries {
-		if e.Match.Matches(inPort, pkt) {
-			e.Packets++
-			e.Bytes += uint64(pkt.WireLen())
-			e.lastUsed = t.sched.Now()
-			return e
+	t.stats.Lookups++
+	hash := packet.HeaderKey(pkt)
+	e := t.micro.get(hash, inPort, t.gen, pkt)
+	if e != nil {
+		t.stats.MicroflowHits++
+	} else {
+		t.stats.TupleLookups++
+		e = t.ts.search(inPort, pkt, &t.stats.MaskProbes)
+		if e == nil {
+			t.Misses++
+			return nil
 		}
+		t.micro.put(hash, inPort, t.gen, e)
 	}
-	t.Misses++
-	return nil
+	e.Packets++
+	e.Bytes += uint64(pkt.WireLen())
+	e.lastUsed = t.sched.Now()
+	return e
 }
 
-// expire lazily removes entries whose idle or hard timeout has elapsed.
-func (t *FlowTable) expire() {
+// Sweep forces a full timeout scan now. Expiry is timer-driven, so in a
+// running simulation Sweep finds nothing to do; it remains the forcing
+// function for tests and for callers that move the clock by hand.
+func (t *FlowTable) Sweep() {
 	now := t.sched.Now()
-	kept := t.entries[:0]
+	var removed []removal
 	for _, e := range t.entries {
 		switch {
 		case e.HardTimeout > 0 && now-e.installed >= e.HardTimeout:
-			if t.OnRemoved != nil {
-				t.OnRemoved(e, RemovedHardTimeout)
-			}
+			removed = append(removed, removal{e, RemovedHardTimeout})
 		case e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout:
-			if t.OnRemoved != nil {
-				t.OnRemoved(e, RemovedIdleTimeout)
-			}
-		default:
-			kept = append(kept, e)
+			removed = append(removed, removal{e, RemovedIdleTimeout})
 		}
 	}
-	t.entries = kept
+	for _, r := range removed {
+		t.detach(r.e)
+	}
+	if len(removed) > 0 {
+		t.rearm()
+	}
+	t.fire(removed)
 }
-
-// Sweep forces timeout expiry now; switches call it periodically so that
-// FlowRemoved messages are not delayed until the next lookup.
-func (t *FlowTable) Sweep() { t.expire() }

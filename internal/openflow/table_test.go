@@ -135,17 +135,20 @@ func TestFlowTableIdleTimeout(t *testing.T) {
 
 	// Traffic at 600 ms keeps the entry alive past 1 s.
 	sched.After(600*time.Millisecond, func() { tbl.Lookup(0, udpPkt()) })
-	sched.Run()
 	sched.RunUntil(1200 * time.Millisecond)
-	tbl.Sweep()
 	if tbl.Len() != 1 {
 		t.Fatal("entry expired despite traffic refreshing the idle timer")
 	}
 
-	sched.RunUntil(2 * time.Second)
-	tbl.Sweep()
+	// Expiry is timer-driven: the entry leaves at exactly lastUsed +
+	// IdleTimeout = 1.6 s, with no Lookup or Sweep needed.
+	sched.RunUntil(1599 * time.Millisecond)
+	if tbl.Len() != 1 {
+		t.Fatal("entry expired before its refreshed idle deadline")
+	}
+	sched.RunUntil(1600 * time.Millisecond)
 	if tbl.Len() != 0 {
-		t.Fatal("idle entry did not expire")
+		t.Fatal("idle entry did not expire at its deadline")
 	}
 	if len(removed) != 1 || removed[0] != RemovedIdleTimeout {
 		t.Fatalf("removal callbacks %v, want [idle]", removed)

@@ -78,7 +78,12 @@ type Switch struct {
 	nextXid  uint32
 
 	blockedIngress map[int]time.Duration // port -> blocked until
-	portStats      map[int]*PortCounters
+
+	// Port counters live in a dense slice indexed by port for the
+	// per-packet Receive/transmit paths; the map handles negative or
+	// absurdly large port numbers (hand-crafted test harnesses only).
+	portDense []*PortCounters
+	portStats map[int]*PortCounters
 
 	// OnTransmit, when non-nil, observes every packet the switch puts on
 	// the wire (after adversarial rewriting); the case study uses it as
@@ -130,29 +135,72 @@ func (sw *Switch) SetBehavior(b Behavior) {
 	}
 }
 
-// PortCounters returns the counters for a port (always non-nil).
+// maxDensePort bounds the dense counter slice; ports beyond it (never
+// produced by topology construction) fall back to the sparse map.
+const maxDensePort = 1024
+
+// PortCounters returns the counters for a port (always non-nil). The
+// fast path is a bounds check and a slice index — Receive calls this for
+// every packet.
 func (sw *Switch) PortCounters(port int) *PortCounters {
-	pc, ok := sw.portStats[port]
-	if !ok {
-		pc = &PortCounters{}
-		sw.portStats[port] = pc
+	if port >= 0 && port < len(sw.portDense) {
+		if pc := sw.portDense[port]; pc != nil {
+			return pc
+		}
 	}
+	return sw.portCountersSlow(port)
+}
+
+// portCountersSlow materialises the counters for a first-touched port.
+func (sw *Switch) portCountersSlow(port int) *PortCounters {
+	if port < 0 || port >= maxDensePort {
+		pc, ok := sw.portStats[port]
+		if !ok {
+			pc = &PortCounters{}
+			sw.portStats[port] = pc
+		}
+		return pc
+	}
+	if port >= len(sw.portDense) {
+		grown := make([]*PortCounters, port+1)
+		copy(grown, sw.portDense)
+		sw.portDense = grown
+	}
+	pc := &PortCounters{}
+	sw.portDense[port] = pc
 	return pc
 }
 
 // BlockIngress drops everything arriving on port until the given duration
 // elapses — the compare's advised response to a DoS-ing router (§IV case 2).
+// Expired blocks on other ports are pruned here, so a long-running
+// simulation under repeated attacks cannot grow the block table without
+// bound.
 func (sw *Switch) BlockIngress(port int, d time.Duration) {
-	until := sw.sched.Now() + d
+	now := sw.sched.Now()
+	for p, u := range sw.blockedIngress {
+		if now >= u {
+			delete(sw.blockedIngress, p)
+		}
+	}
+	until := now + d
 	if cur, ok := sw.blockedIngress[port]; !ok || until > cur {
 		sw.blockedIngress[port] = until
 	}
 }
 
-// IngressBlocked reports whether port is currently blocked.
+// IngressBlocked reports whether port is currently blocked; an expired
+// entry is deleted on the way out.
 func (sw *Switch) IngressBlocked(port int) bool {
 	until, ok := sw.blockedIngress[port]
-	return ok && sw.sched.Now() < until
+	if !ok {
+		return false
+	}
+	if sw.sched.Now() >= until {
+		delete(sw.blockedIngress, port)
+		return false
+	}
+	return true
 }
 
 // Receive implements netem.Receiver: the start of the ingress pipeline.

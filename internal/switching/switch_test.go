@@ -402,13 +402,13 @@ func TestFlowRemovedNotifiesController(t *testing.T) {
 		IdleTimeout: 1, // second
 		Actions:     []openflow.Action{openflow.Output(0)},
 	})
-	sched.Run()
+	sched.RunFor(time.Millisecond) // deliver the FlowMod
 	if sw.Table().Len() != 1 {
 		t.Fatal("flow not installed")
 	}
-	// Let it idle out, then sweep.
+	// Let it idle out: expiry is timer-driven, no sweep needed — the
+	// FlowRemoved fires at the timeout's virtual time.
 	sched.RunUntil(sched.Now() + 1500*time.Millisecond)
-	sw.Table().Sweep()
 	sched.Run()
 	_ = removed
 	if sw.Table().Len() != 0 {
@@ -546,5 +546,58 @@ func TestSwitchAddMACRoute(t *testing.T) {
 	sched.Run()
 	if len(hosts[1].got) != 1 {
 		t.Fatal("AddMACRoute rule did not forward")
+	}
+}
+
+func TestPortCountersDenseSparseAndStable(t *testing.T) {
+	sched, sw, hosts := testbed(t)
+	// Pointers must be stable across later first-touches of other ports,
+	// dense or sparse: callers hold them while traffic keeps counting.
+	pc1 := sw.PortCounters(1)
+	neg := sw.PortCounters(-3)
+	big := sw.PortCounters(99999)
+	sw.PortCounters(900) // grow the dense slice after pc1 was handed out
+
+	sw.Table().Add(&openflow.FlowEntry{
+		Priority: 10,
+		Match:    openflow.MatchAll().WithDlDst(packet.HostMAC(2)),
+		Actions:  []openflow.Action{openflow.Output(1)},
+	})
+	hosts[0].ports.Send(0, testUDP(2))
+	sched.Run()
+
+	if pc1 != sw.PortCounters(1) || neg != sw.PortCounters(-3) || big != sw.PortCounters(99999) {
+		t.Fatal("PortCounters pointer not stable across calls")
+	}
+	if pc1.TxPackets != 1 {
+		t.Fatalf("TxPackets via retained pointer = %d, want 1", pc1.TxPackets)
+	}
+	if neg.RxPackets != 0 || big.RxPackets != 0 {
+		t.Fatal("sparse counters spuriously counted")
+	}
+}
+
+func TestBlockedIngressPruned(t *testing.T) {
+	sched, sw, _ := testbed(t)
+	sw.BlockIngress(0, time.Millisecond)
+	sw.BlockIngress(1, time.Minute)
+	if !sw.IngressBlocked(0) || !sw.IngressBlocked(1) {
+		t.Fatal("fresh blocks not effective")
+	}
+	sched.RunUntil(2 * time.Millisecond)
+	if sw.IngressBlocked(0) {
+		t.Fatal("expired block still effective")
+	}
+	if _, ok := sw.blockedIngress[0]; ok {
+		t.Fatal("IngressBlocked left the expired entry in the table")
+	}
+	// Blocking a new port prunes other expired entries too.
+	sched.RunUntil(2 * time.Minute)
+	sw.BlockIngress(2, time.Second)
+	if _, ok := sw.blockedIngress[1]; ok {
+		t.Fatal("BlockIngress did not prune the expired entry")
+	}
+	if len(sw.blockedIngress) != 1 {
+		t.Fatalf("blockedIngress holds %d entries, want 1", len(sw.blockedIngress))
 	}
 }
