@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench bench-flows sweep-smoke
+.PHONY: check vet build test race bench-guard bench bench-flows sweep-smoke fuzz fuzz-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
 # the race detector (with scratch poisoning on, so retained engine events
 # fail loudly), the allocation-guard benchmarks (one iteration each —
 # they exist to run the b.ReportAllocs paths and the AllocsPerRun guards
-# embedded in the test run, not to produce stable timings), and an
-# end-to-end parallel sweep smoke run.
-check: vet build race bench-guard sweep-smoke
+# embedded in the test run, not to produce stable timings), an
+# end-to-end parallel sweep smoke run, and the scenario-fuzzer smoke.
+check: vet build race bench-guard sweep-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,21 @@ sweep-smoke:
 		-seeds 1:2 -workers 1 -json /tmp/netco-sweep-smoke-w1.json > /dev/null
 	cmp /tmp/netco-sweep-smoke-w1.json /tmp/netco-sweep-smoke-w2.json
 	@echo "sweep-smoke: artifacts byte-identical across worker counts"
+
+# fuzz-smoke is the scenario fuzzer's pre-merge budget: 200 randomized
+# Byzantine scenarios through all four invariant oracles (masking,
+# detection, no-forgery, determinism), then a sabotage pass that weakens
+# the compare majority and demands the no-forgery oracle catch it — the
+# self-test that proves the oracles have teeth. Finishes well inside 30s.
+fuzz-smoke:
+	$(GO) run ./cmd/netco-fuzz -n 200 -seed 1 -budget 25s
+	$(GO) run ./cmd/netco-fuzz -n 5 -seed 42 -weaken -expect-catch
+
+# fuzz is the long-running driver: native coverage-guided fuzzing over
+# the scenario generator. Interrupt with ^C; crashers land in
+# internal/harness/testdata/fuzz/ for go test to replay forever.
+fuzz:
+	$(GO) test ./internal/harness/ -fuzz=FuzzScenario -fuzztime 10m
 
 # bench-guard runs the zero-allocation benchmark suite once per bench.
 # The hard guarantees live in TestEngineIngestSteadyStateZeroAlloc and

@@ -7,50 +7,56 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"netco"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "netco-attack:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	flag.Parse()
+// run is the testable entry point: it parses args with its own FlagSet
+// (so tests can call it repeatedly) and writes everything to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("netco-attack", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	p := netco.DefaultParams()
 	p.Seed = *seed
 	r := netco.RunCaseStudy(p)
 
-	fmt.Println("NetCo case study: datacenter routing attack (paper §VI)")
-	fmt.Println("fat-tree fabric; vm1 pings fw1 over tunnel 2 (edge → aggregation → edge)")
-	fmt.Println()
+	fmt.Fprintln(stdout, "NetCo case study: datacenter routing attack (paper §VI)")
+	fmt.Fprintln(stdout, "fat-tree fabric; vm1 pings fw1 over tunnel 2 (edge → aggregation → edge)")
+	fmt.Fprintln(stdout)
 
 	print := func(name string, o netco.CaseStudyOutcome) {
-		fmt.Printf("-- %s --\n", name)
-		fmt.Printf("  echo requests sent by vm1:        %d\n", o.RequestsSent)
-		fmt.Printf("  requests arriving at fw1:         %d\n", o.RequestsAtFirewall)
-		fmt.Printf("  responses arriving at vm1:        %d\n", o.ResponsesAtVM)
-		fmt.Printf("  stray packets seen at the core:   %d\n", o.StrayAtCore)
-		fmt.Printf("  first-hop flow counter:           %d\n", o.PathRuleRequests)
+		fmt.Fprintf(stdout, "-- %s --\n", name)
+		fmt.Fprintf(stdout, "  echo requests sent by vm1:        %d\n", o.RequestsSent)
+		fmt.Fprintf(stdout, "  requests arriving at fw1:         %d\n", o.RequestsAtFirewall)
+		fmt.Fprintf(stdout, "  responses arriving at vm1:        %d\n", o.ResponsesAtVM)
+		fmt.Fprintf(stdout, "  stray packets seen at the core:   %d\n", o.StrayAtCore)
+		fmt.Fprintf(stdout, "  first-hop flow counter:           %d\n", o.PathRuleRequests)
 		if o.CompareReleased > 0 || o.CompareSuppressed > 0 {
-			fmt.Printf("  compare released / suppressed:    %d / %d\n",
+			fmt.Fprintf(stdout, "  compare released / suppressed:    %d / %d\n",
 				o.CompareReleased, o.CompareSuppressed)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	print("scenario 1: all switches benign", r.Baseline)
 	print("scenario 2: malicious aggregation switch (mirror + drop)", r.Attack)
 	print("scenario 3: malicious switch inside a k=3 NetCo combiner", r.Protected)
 
-	fmt.Println("paper's expectation: 10/10/10 benign; 20 requests at fw1 and 0")
-	fmt.Println("responses at vm1 under attack; 10/10 with the combiner, mirrored")
-	fmt.Println("packets dying inside the compare.")
+	fmt.Fprintln(stdout, "paper's expectation: 10/10/10 benign; 20 requests at fw1 and 0")
+	fmt.Fprintln(stdout, "responses at vm1 under attack; 10/10 with the combiner, mirrored")
+	fmt.Fprintln(stdout, "packets dying inside the compare.")
 	return nil
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRunGolden pins the full console output for the default seed. The
+// case study is a deterministic simulation, so the numbers are part of
+// the contract — they are the paper's Fig. 7 narrative.
+func TestRunGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/seed1.golden"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (re-run with -update to accept):\n%s", golden, buf.String())
+	}
+}
+
+// TestRunTwice guards the FlagSet refactor: run used to register flags
+// on the global CommandLine set, which panics on the second call.
+func TestRunTwice(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		var buf bytes.Buffer
+		if err := run([]string{"-seed", "2"}, &buf); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("call %d produced no output", i)
+		}
+	}
+}
+
+// TestRunBadFlag checks flag errors surface as errors, not os.Exit.
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

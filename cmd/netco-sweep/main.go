@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
@@ -31,24 +32,32 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "netco-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: it parses args with its own FlagSet
+// (so tests can call it repeatedly), writes to stdout, and stops
+// scheduling new runs when ctx is cancelled.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("netco-sweep", flag.ContinueOnError)
 	var (
-		kindsFlag = flag.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter)")
-		scenFlag  = flag.String("scenarios", "Linespeed,Central3", `scenarios, comma-separated, or "all"`)
-		seedsFlag = flag.String("seeds", "1", `seed list "1,2,3" or range "1:10" (inclusive)`)
-		trunkFlag = flag.String("trunk-mbps", "", "optional trunk-rate grid in Mbit/s (one variant per value)")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		jsonPath  = flag.String("json", "", "write the full report as JSON to this file")
-		quick     = flag.Bool("quick", false, "smoke-test durations")
-		full      = flag.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
+		kindsFlag = fs.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter)")
+		scenFlag  = fs.String("scenarios", "Linespeed,Central3", `scenarios, comma-separated, or "all"`)
+		seedsFlag = fs.String("seeds", "1", `seed list "1,2,3" or range "1:10" (inclusive)`)
+		trunkFlag = fs.String("trunk-mbps", "", "optional trunk-rate grid in Mbit/s (one variant per value)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonPath  = fs.String("json", "", "write the full report as JSON to this file")
+		quick     = fs.Bool("quick", false, "smoke-test durations")
+		full      = fs.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	kinds, err := parseKinds(*kindsFlag)
 	if err != nil {
@@ -77,16 +86,14 @@ func run() error {
 
 	grid := runner.Grid{Kinds: kinds, Scenarios: scenarios, Seeds: seeds, Variants: variants}
 	jobs := grid.Jobs()
-	fmt.Printf("sweep: %d runs (%d kinds × %d scenarios × %d seeds × %d variants), workers=%d\n",
+	fmt.Fprintf(stdout, "sweep: %d runs (%d kinds × %d scenarios × %d seeds × %d variants), workers=%d\n",
 		len(jobs), len(kinds), len(scenarios), len(seeds), len(variants), effectiveWorkers(*workers))
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	rep := runner.Sweep(ctx, *workers, jobs)
 
-	printReport(rep)
+	printReport(stdout, rep)
 	if rep.Failed > 0 {
-		fmt.Printf("%d of %d runs failed\n", rep.Failed, len(rep.Runs))
+		fmt.Fprintf(stdout, "%d of %d runs failed\n", rep.Failed, len(rep.Runs))
 	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -97,7 +104,7 @@ func run() error {
 		if err := rep.WriteJSON(f); err != nil {
 			return err
 		}
-		fmt.Printf("report written to %s\n", *jsonPath)
+		fmt.Fprintf(stdout, "report written to %s\n", *jsonPath)
 	}
 	if ctx.Err() != nil {
 		return fmt.Errorf("interrupted after %d completed runs", len(rep.Runs)-rep.Failed)
@@ -112,18 +119,18 @@ func effectiveWorkers(w int) int {
 	return w
 }
 
-func printReport(rep runner.Report) {
+func printReport(w io.Writer, rep runner.Report) {
 	for _, rec := range rep.Runs {
 		if rec.Err != "" {
-			fmt.Printf("  %-24s seed=%-4d FAILED: %s\n", rec.Group, rec.Seed, rec.Err)
+			fmt.Fprintf(w, "  %-24s seed=%-4d FAILED: %s\n", rec.Group, rec.Seed, rec.Err)
 			continue
 		}
-		fmt.Printf("  %-24s seed=%-4d %s\n", rec.Group, rec.Seed, headline(rec.Result.Metrics))
+		fmt.Fprintf(w, "  %-24s seed=%-4d %s\n", rec.Group, rec.Seed, headline(rec.Result.Metrics))
 	}
 	if len(rep.Merged) == 0 {
 		return
 	}
-	fmt.Println("merged:")
+	fmt.Fprintln(w, "merged:")
 	keys := make([]string, 0, len(rep.Merged))
 	for k := range rep.Merged {
 		keys = append(keys, k)
@@ -131,7 +138,7 @@ func printReport(rep runner.Report) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		s := rep.Merged[k]
-		fmt.Printf("  %-36s n=%-3d mean=%.3f min=%.3f max=%.3f std=%.3f\n",
+		fmt.Fprintf(w, "  %-36s n=%-3d mean=%.3f min=%.3f max=%.3f std=%.3f\n",
 			k, s.N(), s.Mean(), s.Min(), s.Max(), s.Std())
 	}
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sweepReport mirrors the JSON shape runner.Report.WriteJSON emits; the
+// test decodes into it so any field rename breaks loudly here.
+type sweepReport struct {
+	Runs []struct {
+		Group  string `json:"group"`
+		Seed   int64  `json:"seed"`
+		Err    string `json:"err,omitempty"`
+		Result struct {
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"result"`
+	} `json:"runs"`
+	Failed int `json:"failed"`
+}
+
+// TestRunJSONShape drives a real (quick) sweep through the CLI and
+// checks both the console output and the JSON artifact shape.
+func TestRunJSONShape(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-kinds", "ping",
+		"-scenarios", "Linespeed",
+		"-seeds", "1,2",
+		"-workers", "2",
+		"-quick",
+		"-json", jsonPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 2 runs (1 kinds × 1 scenarios × 2 seeds × 1 variants), workers=2") {
+		t.Errorf("missing sweep header in output:\n%s", out)
+	}
+	if !strings.Contains(out, "merged:") {
+		t.Errorf("missing merged summary in output:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sweepReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Runs) != 2 || rep.Failed != 0 {
+		t.Fatalf("want 2 clean runs, got %d runs / %d failed", len(rep.Runs), rep.Failed)
+	}
+	for _, r := range rep.Runs {
+		if r.Err != "" {
+			t.Errorf("run %s seed=%d failed: %s", r.Group, r.Seed, r.Err)
+		}
+		if _, ok := r.Result.Metrics["rtt_avg_ms"]; !ok {
+			t.Errorf("run %s seed=%d missing rtt_avg_ms: %v", r.Group, r.Seed, r.Result.Metrics)
+		}
+	}
+}
+
+// TestRunFlagParsing exercises the argument validators without running
+// any simulation.
+func TestRunFlagParsing(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown kind", []string{"-kinds", "bogus"}},
+		{"unknown scenario", []string{"-scenarios", "NoSuch"}},
+		{"bad seed", []string{"-seeds", "x"}},
+		{"inverted seed range", []string{"-seeds", "9:1"}},
+		{"bad trunk rate", []string{"-trunk-mbps", "-5"}},
+		{"unknown flag", []string{"-no-such-flag"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(context.Background(), tc.args, &buf); err == nil {
+				t.Errorf("args %v accepted, want error", tc.args)
+			}
+		})
+	}
+}
+
+// TestRunTwice guards the FlagSet refactor: the old global-flag version
+// panicked on duplicate registration.
+func TestRunTwice(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		var buf bytes.Buffer
+		err := run(context.Background(), []string{
+			"-kinds", "ping", "-scenarios", "Linespeed", "-seeds", "1", "-quick", "-workers", "1",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package adversary
 
 import (
+	"bytes"
 	"time"
 
 	"netco/internal/openflow"
@@ -133,11 +134,17 @@ func (m *Modify) Forward(inPort int, pkt *packet.Packet, honest []openflow.Actio
 	if !m.Match.Matches(uint16(inPort), pkt) {
 		return pkt, honest
 	}
-	m.Modified++
 	out := pkt.Clone()
 	for _, a := range m.Rewrite {
 		openflow.ApplyHeader(a, out)
 	}
+	if bytes.Equal(out.Marshal(), pkt.Marshal()) {
+		// The rewrite did not touch this packet — e.g. a transport-port
+		// rewrite on ICMP, which has no ports. An unaltered packet is not
+		// a victim, so it must not count as attack activity.
+		return pkt, honest
+	}
+	m.Modified++
 	return out, honest
 }
 
@@ -239,6 +246,36 @@ func (f *Flood) Stop() {
 // untouched.
 func (f *Flood) Forward(inPort int, pkt *packet.Packet, honest []openflow.Action) (*packet.Packet, []openflow.Action) {
 	return pkt, honest
+}
+
+// Activity reports how many packets a behavior actually interfered with:
+// the sum of its attack counters, recursing through Chain. A compromised
+// router whose behavior never matched anything (Activity == 0) is
+// indistinguishable from an honest one, which is exactly the distinction
+// the harness's detection oracle needs.
+func Activity(b switching.Behavior) uint64 {
+	switch v := b.(type) {
+	case *Reroute:
+		return v.Rerouted
+	case *Mirror:
+		return v.Mirrored
+	case *Drop:
+		return v.Dropped
+	case *Modify:
+		return v.Modified
+	case *Replay:
+		return v.Replayed
+	case *Flood:
+		return v.Injected
+	case Chain:
+		var total uint64
+		for _, link := range v {
+			total += Activity(link)
+		}
+		return total
+	default:
+		return 0
+	}
 }
 
 // Chain composes behaviors: each link sees the packet/actions produced by

@@ -225,6 +225,21 @@ func TestChainComposes(t *testing.T) {
 	}
 }
 
+func TestActivitySumsChainCounters(t *testing.T) {
+	mirror := &Mirror{Mirrored: 3}
+	drop := &Drop{Dropped: 2}
+	inner := Chain{&Replay{Replayed: 4}, &Flood{Injected: 5}}
+	if got := Activity(Chain{mirror, drop, inner}); got != 14 {
+		t.Fatalf("Activity = %d, want 14", got)
+	}
+	if got := Activity(&Reroute{}); got != 0 {
+		t.Fatalf("Activity of idle behavior = %d, want 0", got)
+	}
+	if got := Activity(&Modify{Modified: 7}); got != 7 {
+		t.Fatalf("Activity = %d, want 7", got)
+	}
+}
+
 func TestChainShortCircuitsOnDrop(t *testing.T) {
 	drop := &Drop{Match: openflow.MatchAll()}
 	mirror := &Mirror{Match: openflow.MatchAll(), ToPort: 2}
@@ -237,4 +252,52 @@ func TestChainShortCircuitsOnDrop(t *testing.T) {
 	if mirror.Mirrored != 0 {
 		t.Fatal("mirror ran after the packet was dropped")
 	}
+}
+
+// Regression for a bug the scenario fuzzer surfaced: a transport-port
+// rewrite matched against ICMP traffic changes nothing (ICMP has no
+// ports), so the packet must pass through unaltered and must NOT count
+// as a modification — phantom activity broke the harness detection
+// oracle's accounting.
+func TestModifyVacuousRewriteNotCounted(t *testing.T) {
+	b := &Modify{
+		Match:   openflow.MatchAll(),
+		Rewrite: []openflow.Action{openflow.SetTpDst(9999)},
+	}
+	sched, in, out0, _ := rig(t, b)
+	ping := packet.NewICMPEcho(
+		packet.Endpoint{MAC: packet.HostMAC(1), IP: packet.HostIP(1)},
+		packet.Endpoint{MAC: packet.HostMAC(2), IP: packet.HostIP(2)},
+		packet.ICMPEchoRequest, 7, 1, []byte("abcd"),
+	)
+	want := ping.Marshal()
+	in.ports.Send(0, ping)
+	sched.Run()
+	if b.Modified != 0 {
+		t.Fatalf("Modified = %d for a rewrite that changed nothing, want 0", b.Modified)
+	}
+	if len(out0.got) != 1 {
+		t.Fatalf("got %d packets, want 1", len(out0.got))
+	}
+	if got := out0.got[0].Marshal(); !bytesEqual(got, want) {
+		t.Fatal("vacuously rewritten packet differs from original")
+	}
+	// A rewrite that does bite still counts.
+	in.ports.Send(0, victim())
+	sched.Run()
+	if b.Modified != 1 {
+		t.Fatalf("Modified = %d after a real rewrite, want 1", b.Modified)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"netco/internal/netem"
@@ -84,6 +85,13 @@ type CompareNode struct {
 	// ("this raises an alarm to the network administrator", §IV).
 	OnAlarm func(Alarm)
 
+	// OnRelease, when non-nil, observes every frame the compare releases
+	// back toward an edge, before encapsulation. The wire slice aliases
+	// engine-owned storage and is only valid for the duration of the
+	// call; observers must copy what they keep. The harness's invariant
+	// oracles tap the egress stream here.
+	OnRelease func(edgeID int, wire []byte)
+
 	// framePool recycles the PacketOut frames sent back to the edges;
 	// the edge recycles them after decapsulating the release.
 	framePool packet.Pool
@@ -154,11 +162,25 @@ func (c *CompareNode) Close() {
 func (c *CompareNode) scheduleSweep() {
 	c.sweepTimer = c.sched.After(c.cfg.SweepInterval, func() {
 		now := c.sched.Now()
-		for edgeID, eng := range c.engines {
+		// Expire in ascending edge order: ranging over the map directly
+		// would randomise the relative order of the two directions'
+		// expiry events (and thus alarm order) from run to run.
+		for _, edgeID := range c.edgeIDs() {
+			eng := c.engines[edgeID]
 			c.handleEvents(edgeID, eng, eng.Expire(now))
 		}
 		c.scheduleSweep()
 	})
+}
+
+// edgeIDs returns the engine keys in ascending order.
+func (c *CompareNode) edgeIDs() []int {
+	ids := make([]int, 0, len(c.engines))
+	for id := range c.engines {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 func (c *CompareNode) engineFor(edgeID int) *Engine {
@@ -262,6 +284,9 @@ func (c *CompareNode) handleEvents(edgeID int, eng *Engine, events []Event) {
 			// majority of the r_i made" (§IV). The engine hands back the
 			// stored wire form, so the release path is a copy, not a
 			// re-marshal.
+			if c.OnRelease != nil {
+				c.OnRelease(edgeID, ev.Wire)
+			}
 			out := encapPacketOutInto(c.framePool.Get(), ev.Wire)
 			if !c.ports.Send(edgeID, out) {
 				packet.Recycle(out)

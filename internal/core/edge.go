@@ -104,6 +104,7 @@ type EdgeSwitch struct {
 	proc  *netem.Proc
 
 	hostMAC     map[int]packet.MAC // host port -> expected source MAC
+	hostPorts   []int              // host ports in registration order (deterministic broadcast)
 	localMAC    map[packet.MAC]bool
 	routerPorts []int
 	routerIdx   map[int]int // port -> router index
@@ -164,6 +165,9 @@ func (e *EdgeSwitch) Stats() EdgeStats { return e.stats }
 // given MAC. Packets from that host enter the combiner here; the MAC also
 // populates the edge's forwarding table.
 func (e *EdgeSwitch) AddHostPort(port int, mac packet.MAC) {
+	if _, dup := e.hostMAC[port]; !dup {
+		e.hostPorts = append(e.hostPorts, port)
+	}
 	e.hostMAC[port] = mac
 	e.localMAC[mac] = true
 	e.macTable[mac] = port
@@ -325,8 +329,10 @@ func (e *EdgeSwitch) fromCompare(frame *packet.Packet) {
 func (e *EdgeSwitch) forwardByMAC(pkt *packet.Packet) {
 	if pkt.Eth.Dst.IsBroadcast() {
 		// Broadcasts (e.g. ARP requests crossing the combiner) leave
-		// toward every protected-side attachment.
-		for port := range e.hostMAC {
+		// toward every protected-side attachment, in registration order —
+		// ranging over the hostMAC map here would make delivery order (and
+		// hence downstream event order) vary run to run.
+		for _, port := range e.hostPorts {
 			e.ports.Send(port, pkt)
 		}
 		return

@@ -74,7 +74,7 @@ const (
 func runCaseStudyScenario(p Params, kind caseKind) CaseStudyOutcome {
 	sched := sim.NewScheduler()
 	net := netem.New(sched)
-	link := p.trunkLink()
+	link := p.TrunkLink()
 
 	ft := topo.BuildFatTree(net, topo.FatTreeParams{
 		Arity:           4,
@@ -98,9 +98,9 @@ func runCaseStudyScenario(p Params, kind caseKind) CaseStudyOutcome {
 	net.Add(fw1)
 	net.Add(vm1)
 	net.Add(vm2)
-	net.Connect(fw1, traffic.HostPort, edgeFW, ft.EdgeHostPortOf(0), p.hostLink())
-	net.Connect(vm1, traffic.HostPort, edgeVM, ft.EdgeHostPortOf(0), p.hostLink())
-	net.Connect(vm2, traffic.HostPort, edgeVM, ft.EdgeHostPortOf(1), p.hostLink())
+	net.Connect(fw1, traffic.HostPort, edgeFW, ft.EdgeHostPortOf(0), p.HostLink())
+	net.Connect(vm1, traffic.HostPort, edgeVM, ft.EdgeHostPortOf(0), p.HostLink())
+	net.Connect(vm2, traffic.HostPort, edgeVM, ft.EdgeHostPortOf(1), p.HostLink())
 
 	route := func(sw *switching.Switch, dst packet.MAC, port int) *openflow.FlowEntry {
 		e := &openflow.FlowEntry{

@@ -147,11 +147,14 @@ func (p Params) Quick() Params {
 	return p
 }
 
-func (p Params) hostLink() netem.LinkConfig {
+// HostLink is the calibrated host↔edge (and edge↔compare) link recipe.
+// Exported so other builders (the fuzzing harness) share one calibration.
+func (p Params) HostLink() netem.LinkConfig {
 	return netem.LinkConfig{Bandwidth: p.HostLinkRate, Delay: p.PropDelay, QueueLimit: p.QueueLimit}
 }
 
-func (p Params) trunkLink() netem.LinkConfig {
+// TrunkLink is the calibrated edge↔router link recipe.
+func (p Params) TrunkLink() netem.LinkConfig {
 	return netem.LinkConfig{Bandwidth: p.TrunkRate, Delay: p.PropDelay, QueueLimit: p.QueueLimit}
 }
 
@@ -161,8 +164,8 @@ func (p Params) TestbedParams(s Scenario, compromise func(i int) switching.Behav
 	tp := topo.TestbedParams{
 		Kind:            s.kind(),
 		K:               s.K(),
-		HostLink:        p.hostLink(),
-		RouterLink:      p.trunkLink(),
+		HostLink:        p.HostLink(),
+		RouterLink:      p.TrunkLink(),
 		CompareLink:     netem.LinkConfig{Bandwidth: p.HostLinkRate, Delay: p.PropDelay, QueueLimit: 4 * p.QueueLimit},
 		SwitchProcDelay: p.SwitchProc,
 		SwitchProcQueue: p.SwitchQueue,

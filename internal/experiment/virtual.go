@@ -103,7 +103,7 @@ func RunVirtual(p Params) VirtualResult {
 	{
 		sched := sim.NewScheduler()
 		net := netem.New(sched)
-		link := p.trunkLink()
+		link := p.TrunkLink()
 		sw := switching.New(sched, switching.Config{Name: "bare", ProcDelay: p.SwitchProc, ProcQueue: p.SwitchQueue})
 		h1 := traffic.NewHost(sched, "h1", packet.HostMAC(1), packet.HostIP(1), hostCfgOf(p))
 		h2 := traffic.NewHost(sched, "h2", packet.HostMAC(2), packet.HostIP(2), hostCfgOf(p))
@@ -130,12 +130,12 @@ func hostCfgOf(p Params) traffic.HostConfig {
 func buildVirtualNet(p Params, paths int, detectOnly bool, compromise func(path, hop int) switching.Behavior) (*sim.Scheduler, *topo.Multipath, *traffic.Host, *traffic.Host) {
 	sched := sim.NewScheduler()
 	net := netem.New(sched)
-	link := p.trunkLink()
+	link := p.TrunkLink()
 	mp := topo.BuildMultipath(net, topo.MultipathParams{
 		Paths:           paths,
 		HopsPerPath:     2,
 		Link:            link,
-		EdgeLink:        p.hostLink(),
+		EdgeLink:        p.HostLink(),
 		SwitchProcDelay: p.SwitchProc,
 		SwitchProcQueue: p.SwitchQueue,
 		Edge: core.VirtualEdgeConfig{
@@ -153,8 +153,8 @@ func buildVirtualNet(p Params, paths int, detectOnly bool, compromise func(path,
 	h2 := traffic.NewHost(sched, "h2", packet.HostMAC(2), packet.HostIP(2), hostCfgOf(p))
 	net.Add(h1)
 	net.Add(h2)
-	net.Connect(h1, traffic.HostPort, mp.Left, core.VirtualHostPort, p.hostLink())
-	net.Connect(h2, traffic.HostPort, mp.Right, core.VirtualHostPort, p.hostLink())
+	net.Connect(h1, traffic.HostPort, mp.Left, core.VirtualHostPort, p.HostLink())
+	net.Connect(h2, traffic.HostPort, mp.Right, core.VirtualHostPort, p.HostLink())
 	mp.Route(h1.MAC(), core.SideLeft)
 	mp.Route(h2.MAC(), core.SideRight)
 	return sched, mp, h1, h2

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// artifactVersion guards against replaying artifacts written by an
+// incompatible harness.
+const artifactVersion = 1
+
+// Artifact is a replayable counterexample: the minimized scenario plus
+// the oracle names it violated when it was written. Replay re-executes
+// the scenario and asserts exactly the same oracles still fire. An empty
+// Expect records a *fixed* bug: the scenario once violated an oracle and
+// must now stay clean forever.
+type Artifact struct {
+	Version int `json:"netco_harness"`
+	// Scenario is stored fully decoded, so replay does not depend on the
+	// generator staying bit-stable across versions.
+	Scenario Scenario `json:"scenario"`
+	// Expect is the sorted set of violated oracle names.
+	Expect []string `json:"expect"`
+	// Note is free-form provenance (what produced this artifact).
+	Note string `json:"note,omitempty"`
+}
+
+// WriteArtifact serialises the artifact to path (indented, trailing
+// newline — stable enough to check into testdata).
+func WriteArtifact(path string, a Artifact) error {
+	a.Version = artifactVersion
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal artifact: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadArtifact loads and validates an artifact from path.
+func ReadArtifact(path string) (Artifact, error) {
+	var a Artifact
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return a, fmt.Errorf("harness: parse %s: %w", path, err)
+	}
+	if a.Version != artifactVersion {
+		return a, fmt.Errorf("harness: %s: unsupported artifact version %d", path, a.Version)
+	}
+	if err := a.Scenario.Validate(); err != nil {
+		return a, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	return a, nil
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netco/internal/packet"
+	"netco/internal/sim"
+)
+
+// FuzzScenario is the native fuzz entry point: the fuzz input is hashed
+// into a generator seed, the derived scenario is executed, and every
+// oracle is enforced. On violation the scenario is shrunk and written
+// next to the fuzzer's own crash record so it can be checked into
+// testdata/ as a replayable regression.
+func FuzzScenario(f *testing.F) {
+	f.Add([]byte("netco"))
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seed := int64(packet.FastKey(data) >> 1)
+		sc := Generate(sim.NewRNG(seed), Options{})
+		res, err := Check(sc)
+		if err != nil {
+			t.Fatalf("generated scenario rejected: %v", err)
+		}
+		if len(res.Violations) == 0 {
+			return
+		}
+		oracles := res.Oracles()
+		min := Shrink(sc, oracles, 120)
+		path := filepath.Join(t.TempDir(), "counterexample.json")
+		if dir := os.Getenv("NETCO_FUZZ_ARTIFACTS"); dir != "" {
+			path = filepath.Join(dir, "counterexample.json")
+		}
+		if werr := WriteArtifact(path, Artifact{
+			Scenario: min,
+			Expect:   oracles,
+			Note:     "FuzzScenario minimized counterexample",
+		}); werr != nil {
+			t.Logf("could not write artifact: %v", werr)
+		}
+		t.Fatalf("oracle violation %v (minimized artifact: %s)\nviolations: %+v", oracles, path, res.Violations)
+	})
+}

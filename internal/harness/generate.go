@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"netco/internal/sim"
+)
+
+// Options bounds the generator. The zero value is usable: defaults are
+// filled in by Generate.
+type Options struct {
+	// MaxFlows caps the traffic mix size (default 4).
+	MaxFlows int
+	// MaxChainLen caps atoms per adversary (default 2).
+	MaxChainLen int
+	// Weaken forces the sabotage configuration: k=3, WeakenMajority set,
+	// and at least one forging adversary (modify or flood — behaviors
+	// that put frames on the wire no honest router emits), so a correct
+	// no-forgery oracle must fire.
+	Weaken bool
+	// Topologies restricts the topology pool (default: all three).
+	Topologies []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFlows <= 0 {
+		o.MaxFlows = 4
+	}
+	if o.MaxChainLen <= 0 {
+		o.MaxChainLen = 2
+	}
+	if len(o.Topologies) == 0 {
+		o.Topologies = []string{TopoTestbed, TopoFatTree, TopoChain}
+	}
+	return o
+}
+
+// Generate derives a valid scenario from the RNG. The same RNG state and
+// options always produce the same scenario; the scenario's own Seed is
+// drawn from the stream too, so runtime randomness (probabilistic drops)
+// is reproducible from the genome alone.
+func Generate(rng *sim.RNG, opts Options) Scenario {
+	opts = opts.withDefaults()
+	sc := Scenario{
+		Seed:      int64(rng.Uint64() >> 1),
+		Topology:  opts.Topologies[rng.Intn(len(opts.Topologies))],
+		K:         2 + rng.Intn(2),
+		TrunkMbps: pickF(rng, 200, 500, 1000),
+	}
+	if opts.Weaken {
+		sc.K = 3
+		sc.WeakenMajority = true
+	}
+
+	nf := 1 + rng.Intn(opts.MaxFlows)
+	for i := 0; i < nf; i++ {
+		sc.Flows = append(sc.Flows, genFlow(rng))
+	}
+
+	for ci := 0; ci < sc.Combiners(); ci++ {
+		if rng.Float64() < 0.7 {
+			sc.Adversaries = append(sc.Adversaries, genAdversary(rng, opts, ci, sc.K))
+		}
+	}
+	if opts.Weaken {
+		// Guarantee a forging adversary on combiner 0: under the weakened
+		// majority a single compromised router's frames release unopposed.
+		sc.Adversaries = ensureForger(rng, sc.Adversaries, sc.K)
+	}
+	return sc
+}
+
+func genFlow(rng *sim.RNG) Flow {
+	fl := Flow{Reverse: rng.Intn(2) == 1}
+	switch rng.Intn(3) {
+	case 0:
+		fl.Kind = FlowPing
+		fl.Count = 3 + rng.Intn(5)
+	case 1:
+		fl.Kind = FlowUDP
+		fl.RateMbps = pickF(rng, 5, 10, 20)
+		fl.PayloadSize = pickI(rng, 64, 256, 1000)
+	default:
+		fl.Kind = FlowTCP
+		fl.KiB = pickI(rng, 16, 32, 64)
+	}
+	return fl
+}
+
+func genAdversary(rng *sim.RNG, opts Options, ci, k int) Adversary {
+	a := Adversary{Router: ci*k + rng.Intn(k)}
+	n := 1 + rng.Intn(opts.MaxChainLen)
+	for j := 0; j < n; j++ {
+		a.Chain = append(a.Chain, genAtom(rng))
+	}
+	return a
+}
+
+func genAtom(rng *sim.RNG) Atom {
+	a := Atom{
+		Scope: pickS(rng, "all", "udp", "tcp", "icmp"),
+		Dir:   rng.Intn(2),
+	}
+	switch rng.Intn(6) {
+	case 0:
+		a.Kind = AtomReroute
+	case 1:
+		a.Kind = AtomMirror
+	case 2:
+		a.Kind = AtomDrop
+		a.Probability = pickF(rng, 1, 0.5)
+	case 3:
+		a.Kind = AtomModify
+		a.Rewrite = pickS(rng, "tos", "vlan", "tp_dst")
+	case 4:
+		a.Kind = AtomReplay
+		a.Extra = 2 + rng.Intn(2)
+	default:
+		a.Kind = AtomFlood
+		a.RateKpps = pickF(rng, 2, 5, 10)
+		a.Vary = rng.Intn(2) == 1
+	}
+	return a
+}
+
+// ensureForger makes sure combiner 0 hosts an adversary whose chain
+// contains a frame-forging atom (modify or flood) scoped to all traffic.
+func ensureForger(rng *sim.RNG, advs []Adversary, k int) []Adversary {
+	forge := Atom{Kind: AtomModify, Scope: "all", Rewrite: pickS(rng, "tos", "tp_dst")}
+	for i, a := range advs {
+		if a.Router >= k {
+			continue
+		}
+		for _, atom := range a.Chain {
+			if atom.Kind == AtomModify || atom.Kind == AtomFlood {
+				return advs
+			}
+		}
+		advs[i].Chain[0] = forge
+		return advs
+	}
+	return append(advs, Adversary{Router: rng.Intn(k), Chain: []Atom{forge}})
+}
+
+func pickF(rng *sim.RNG, vals ...float64) float64 { return vals[rng.Intn(len(vals))] }
+func pickI(rng *sim.RNG, vals ...int) int         { return vals[rng.Intn(len(vals))] }
+func pickS(rng *sim.RNG, vals ...string) string   { return vals[rng.Intn(len(vals))] }

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAdversaryMatrix is the differential matrix: every adversary
+// behavior × {k=2, k=3} through the full combiner. At k=3 the combiner
+// must mask every behavior (no oracle violation, traffic intact); at k=2
+// the detectable behaviors must raise at least one alarm. Mirror is the
+// documented exception at k=2 on the testbed topology: the bounced copy
+// is killed by the edge ingress spoof check (its source MAC is the edge's
+// own), which is a silent defense rather than an alarm, and the genuine
+// copy still flows — so nothing reaches the compare off-profile.
+func TestAdversaryMatrix(t *testing.T) {
+	atoms := []struct {
+		name      string
+		atom      Atom
+		wantAlarm bool // at k=2
+	}{
+		{"reroute", Atom{Kind: AtomReroute, Dir: 0}, true},
+		{"mirror", Atom{Kind: AtomMirror, Dir: 0}, false},
+		{"drop-all", Atom{Kind: AtomDrop, Probability: 1}, true},
+		{"drop-half", Atom{Kind: AtomDrop, Probability: 0.5}, true},
+		{"modify-tos", Atom{Kind: AtomModify, Rewrite: "tos"}, true},
+		{"modify-vlan", Atom{Kind: AtomModify, Rewrite: "vlan"}, true},
+		{"modify-tpdst", Atom{Kind: AtomModify, Scope: "udp", Rewrite: "tp_dst"}, true},
+		{"replay", Atom{Kind: AtomReplay, Extra: 3}, true},
+		{"flood", Atom{Kind: AtomFlood, Dir: 1, RateKpps: 5}, true},
+		{"chain-drop+modify", Atom{}, true}, // placeholder; expanded below
+	}
+
+	flows := []Flow{
+		{Kind: FlowPing, Count: 5},
+		{Kind: FlowUDP, RateMbps: 10, PayloadSize: 256},
+	}
+
+	for _, tc := range atoms {
+		for _, k := range []int{2, 3} {
+			tc, k := tc, k
+			t.Run(fmt.Sprintf("%s/k=%d", tc.name, k), func(t *testing.T) {
+				t.Parallel()
+				chain := []Atom{tc.atom}
+				if tc.name == "chain-drop+modify" {
+					chain = []Atom{
+						{Kind: AtomDrop, Scope: "icmp", Probability: 1},
+						{Kind: AtomModify, Scope: "udp", Rewrite: "tos"},
+					}
+				}
+				sc := Scenario{
+					Seed:        11,
+					Topology:    TopoTestbed,
+					K:           k,
+					TrunkMbps:   1000,
+					Flows:       flows,
+					Adversaries: []Adversary{{Router: 0, Chain: chain}},
+				}
+				res, err := Check(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Violations) != 0 {
+					t.Fatalf("oracle violations: %+v", res.Violations)
+				}
+				if res.Obs.Activity == 0 {
+					t.Fatalf("adversary never acted; matrix case is vacuous")
+				}
+				switch k {
+				case 3:
+					// Masked: traffic must be whole despite the adversary.
+					for i, fo := range res.Obs.Flows {
+						if fo.Received == 0 {
+							t.Errorf("k=3 flow %d (%s) starved: %+v", i, fo.Kind, fo)
+						}
+					}
+				case 2:
+					gotAlarm := len(res.Obs.Alarms) > 0
+					if tc.wantAlarm && !gotAlarm {
+						t.Errorf("k=2 %s raised no alarm (activity=%d)", tc.name, res.Obs.Activity)
+					}
+					if !tc.wantAlarm && gotAlarm {
+						t.Errorf("k=2 %s unexpectedly alarmed: %+v", tc.name, res.Obs.Alarms)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package harness is a seeded, deterministic Byzantine scenario fuzzer
+// for the NetCo combiner. It composes random topologies, adversary
+// placements and traffic mixes into a Scenario — a fully self-contained,
+// JSON-serialisable genome — executes each scenario in an isolated
+// simulation, and checks the paper's correctness claims as invariant
+// oracles (Theorems 1–2, §III):
+//
+//   - masking: with k=3 and ≤1 compromised router per combiner, the
+//     compare egress stream equals the honest-only run of the same
+//     scenario (frame multisets per direction, IP-ID-normalised);
+//   - detection: with k=2 and an active adversary, at least one alarm
+//     fires;
+//   - no-forgery: no frame egresses a compare unless a majority of that
+//     combiner's routers emitted it;
+//   - determinism: the same scenario yields a byte-identical observation
+//     artifact on every execution, whatever the worker count.
+//
+// On violation the harness greedily shrinks the scenario and writes a
+// minimized replayable artifact (see Artifact); `go test
+// ./internal/harness/ -run TestHarnessReplay -harness.replay=<file>`
+// re-executes it exactly (the package path must precede the custom flag
+// or go test will not forward it to the test binary).
+package harness
+
+import (
+	"fmt"
+)
+
+// Topology names.
+const (
+	// TopoTestbed is the Fig. 3 shape: h1 – combiner – h2.
+	TopoTestbed = "testbed"
+	// TopoFatTree splices the combiner between two rack switches of a
+	// 4-ary fat tree (the §VI case-study shape), so traffic crosses
+	// honest switches before and after the combiner.
+	TopoFatTree = "fattree"
+	// TopoChain puts two combiners in series: h1 – C1 – C2 – h2, the
+	// composition seam two independent deployments would form.
+	TopoChain = "chain"
+)
+
+// Flow kinds.
+const (
+	FlowPing = "ping"
+	FlowUDP  = "udp"
+	FlowTCP  = "tcp"
+)
+
+// Atom kinds — one per adversary behavior.
+const (
+	AtomReroute = "reroute"
+	AtomMirror  = "mirror"
+	AtomDrop    = "drop"
+	AtomModify  = "modify"
+	AtomReplay  = "replay"
+	AtomFlood   = "flood"
+)
+
+// Scenario is the genome: everything needed to reproduce one run. It is
+// stored fully decoded in artifacts, so a replay does not depend on the
+// generator staying bit-stable across versions.
+type Scenario struct {
+	// Seed drives all runtime randomness (probabilistic drops).
+	Seed int64 `json:"seed"`
+	// Topology is one of TopoTestbed, TopoFatTree, TopoChain.
+	Topology string `json:"topology"`
+	// K is the combiner parallelism: 3 runs the masking configuration,
+	// 2 the detect-only configuration.
+	K int `json:"k"`
+	// TrunkMbps is the edge↔router line rate.
+	TrunkMbps float64 `json:"trunk_mbps"`
+	// Flows is the traffic mix; flow i derives its ports from i.
+	Flows []Flow `json:"flows"`
+	// Adversaries compromise at most one router per combiner.
+	Adversaries []Adversary `json:"adversaries,omitempty"`
+	// WeakenMajority is the deliberate-sabotage hook: it drops every
+	// engine's release threshold to k/2 (one below a strict majority),
+	// the off-by-one a correct no-forgery oracle must catch.
+	WeakenMajority bool `json:"weaken_majority,omitempty"`
+}
+
+// Flow is one traffic stream between the two end hosts.
+type Flow struct {
+	// Kind is FlowPing, FlowUDP or FlowTCP.
+	Kind string `json:"kind"`
+	// Reverse sends right→left (h2 to h1) instead of left→right.
+	Reverse bool `json:"reverse,omitempty"`
+	// Count is the ping cycle count (FlowPing).
+	Count int `json:"count,omitempty"`
+	// RateMbps and PayloadSize shape the datagram stream (FlowUDP).
+	RateMbps    float64 `json:"rate_mbps,omitempty"`
+	PayloadSize int     `json:"payload_size,omitempty"`
+	// KiB bounds the transfer (FlowTCP): the flow sends KiB kibibytes
+	// and quiesces.
+	KiB int `json:"kib,omitempty"`
+}
+
+// Adversary compromises one router with a chain of behaviors.
+type Adversary struct {
+	// Router is the global router index: combiner Router/K, local index
+	// Router%K (TopoChain has 2K routers; the others K).
+	Router int `json:"router"`
+	// Chain is applied in order, exactly like adversary.Chain.
+	Chain []Atom `json:"chain"`
+}
+
+// Atom describes one adversary behavior. Directional atoms (reroute,
+// mirror, flood) carry Dir — the router port they interfere with: 0 is
+// the left-edge side, 1 the right-edge side. Reroute and mirror act on
+// packets *arriving* on Dir and send them back out of Dir (the wrong
+// way); flood injects *toward* the edge on Dir.
+type Atom struct {
+	Kind string `json:"kind"`
+	// Scope restricts the match: "all", "udp", "tcp" or "icmp".
+	Scope string `json:"scope,omitempty"`
+	// Dir is the router port (0 or 1) for directional atoms.
+	Dir int `json:"dir,omitempty"`
+	// Probability is the drop fraction (AtomDrop; 0 or 1 = always).
+	Probability float64 `json:"probability,omitempty"`
+	// Rewrite selects the modify flavour: "tos", "vlan" or "tp_dst".
+	Rewrite string `json:"rewrite,omitempty"`
+	// Extra is the replay amplification (AtomReplay; ≥2 so the copies of
+	// one frame cross the compare's DoS threshold).
+	Extra int `json:"extra,omitempty"`
+	// RateKpps and Vary shape the flood (AtomFlood).
+	RateKpps float64 `json:"rate_kpps,omitempty"`
+	Vary     bool    `json:"vary,omitempty"`
+}
+
+// Combiners returns how many combiners the topology contains.
+func (s Scenario) Combiners() int {
+	if s.Topology == TopoChain {
+		return 2
+	}
+	return 1
+}
+
+// Validate rejects scenarios the executor cannot run — the guard that
+// makes replaying artifacts from disk safe.
+func (s Scenario) Validate() error {
+	switch s.Topology {
+	case TopoTestbed, TopoFatTree, TopoChain:
+	default:
+		return fmt.Errorf("harness: unknown topology %q", s.Topology)
+	}
+	if s.K != 2 && s.K != 3 {
+		return fmt.Errorf("harness: k=%d out of range (want 2 or 3)", s.K)
+	}
+	if s.TrunkMbps <= 0 || s.TrunkMbps > 10000 {
+		return fmt.Errorf("harness: trunk rate %g Mbit/s out of range", s.TrunkMbps)
+	}
+	if len(s.Flows) == 0 || len(s.Flows) > 16 {
+		return fmt.Errorf("harness: %d flows out of range [1,16]", len(s.Flows))
+	}
+	for i, f := range s.Flows {
+		switch f.Kind {
+		case FlowPing:
+			if f.Count <= 0 || f.Count > 10 {
+				return fmt.Errorf("harness: flow %d: ping count %d out of range [1,10]", i, f.Count)
+			}
+		case FlowUDP:
+			if f.RateMbps <= 0 || f.RateMbps > 50 {
+				return fmt.Errorf("harness: flow %d: udp rate %g Mbit/s out of range", i, f.RateMbps)
+			}
+			if f.PayloadSize < 16 || f.PayloadSize > 1470 {
+				return fmt.Errorf("harness: flow %d: payload %d out of range [16,1470]", i, f.PayloadSize)
+			}
+		case FlowTCP:
+			if f.KiB <= 0 || f.KiB > 256 {
+				return fmt.Errorf("harness: flow %d: tcp size %d KiB out of range [1,256]", i, f.KiB)
+			}
+		default:
+			return fmt.Errorf("harness: flow %d: unknown kind %q", i, f.Kind)
+		}
+	}
+	perCombiner := make(map[int]bool)
+	for i, a := range s.Adversaries {
+		if a.Router < 0 || a.Router >= s.Combiners()*s.K {
+			return fmt.Errorf("harness: adversary %d: router %d out of range", i, a.Router)
+		}
+		ci := a.Router / s.K
+		if perCombiner[ci] {
+			// More than one compromised router per combiner is outside
+			// the threat model of both theorems; neither oracle applies.
+			return fmt.Errorf("harness: adversary %d: combiner %d already compromised", i, ci)
+		}
+		perCombiner[ci] = true
+		if len(a.Chain) == 0 || len(a.Chain) > 4 {
+			return fmt.Errorf("harness: adversary %d: chain length %d out of range [1,4]", i, len(a.Chain))
+		}
+		for j, atom := range a.Chain {
+			if err := atom.validate(); err != nil {
+				return fmt.Errorf("harness: adversary %d atom %d: %w", i, j, err)
+			}
+		}
+	}
+	if s.WeakenMajority && s.K != 3 {
+		return fmt.Errorf("harness: weaken_majority requires k=3")
+	}
+	return nil
+}
+
+func (a Atom) validate() error {
+	switch a.Scope {
+	case "", "all", "udp", "tcp", "icmp":
+	default:
+		return fmt.Errorf("unknown scope %q", a.Scope)
+	}
+	if a.Dir != 0 && a.Dir != 1 {
+		return fmt.Errorf("dir %d out of range", a.Dir)
+	}
+	switch a.Kind {
+	case AtomReroute, AtomMirror:
+	case AtomDrop:
+		if a.Probability < 0 || a.Probability > 1 {
+			return fmt.Errorf("drop probability %g out of range", a.Probability)
+		}
+	case AtomModify:
+		switch a.Rewrite {
+		case "tos", "vlan", "tp_dst":
+		default:
+			return fmt.Errorf("unknown rewrite %q", a.Rewrite)
+		}
+	case AtomReplay:
+		if a.Extra < 2 || a.Extra > 4 {
+			// Extra < 2 keeps per-port copies of a frame below the
+			// compare's DoS threshold of 3 — an amplification too weak
+			// for any oracle to demand an alarm.
+			return fmt.Errorf("replay extra %d out of range [2,4]", a.Extra)
+		}
+	case AtomFlood:
+		if a.RateKpps <= 0 || a.RateKpps > 20 {
+			return fmt.Errorf("flood rate %g kpps out of range", a.RateKpps)
+		}
+	default:
+		return fmt.Errorf("unknown atom kind %q", a.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package harness
+
+// Shrink greedily minimises a failing scenario while preserving at least
+// one of the originally violated oracles. Each pass tries, in order:
+// simplifying the topology, dropping whole adversaries, dropping flows,
+// shortening adversary chains, and softening atom magnitudes. A candidate
+// is accepted if Check still reports one of the target oracles; passes
+// repeat until a fixpoint or the execution budget (number of Check calls)
+// runs out.
+//
+// Shrinking re-executes candidates, so it is the expensive half of a
+// fuzzing run — but it only runs on failures, which should be rare.
+func Shrink(sc Scenario, oracles []string, budget int) Scenario {
+	if len(oracles) == 0 || budget <= 0 {
+		return sc
+	}
+	want := make(map[string]bool, len(oracles))
+	for _, o := range oracles {
+		want[o] = true
+	}
+	stillFails := func(cand Scenario) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if cand.Validate() != nil {
+			return false
+		}
+		res, err := Check(cand)
+		if err != nil {
+			return false
+		}
+		for _, o := range res.Oracles() {
+			if want[o] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for changed := true; changed && budget > 0; {
+		changed = false
+
+		// 1. Topology: testbed is the smallest fabric. Router indices are
+		// per-combiner-relative, so collapsing a chain keeps only the
+		// combiner-0 adversary.
+		if sc.Topology != TopoTestbed {
+			cand := sc
+			cand.Topology = TopoTestbed
+			cand.Adversaries = nil
+			for _, a := range sc.Adversaries {
+				if a.Router < sc.K {
+					cand.Adversaries = append(cand.Adversaries, a)
+				}
+			}
+			if stillFails(cand) {
+				sc = cand
+				changed = true
+			}
+		}
+
+		// 2. Drop whole adversaries.
+		for i := 0; i < len(sc.Adversaries); i++ {
+			cand := sc
+			cand.Adversaries = dropIndexA(sc.Adversaries, i)
+			if stillFails(cand) {
+				sc = cand
+				changed = true
+				i--
+			}
+		}
+
+		// 3. Drop flows (keep at least one — Validate requires it).
+		for i := 0; i < len(sc.Flows) && len(sc.Flows) > 1; i++ {
+			cand := sc
+			cand.Flows = dropIndexF(sc.Flows, i)
+			if stillFails(cand) {
+				sc = cand
+				changed = true
+				i--
+			}
+		}
+
+		// 4. Shorten chains.
+		for ai := range sc.Adversaries {
+			for j := 0; j < len(sc.Adversaries[ai].Chain) && len(sc.Adversaries[ai].Chain) > 1; j++ {
+				cand := sc
+				cand.Adversaries = cloneAdvs(sc.Adversaries)
+				cand.Adversaries[ai].Chain = dropIndexT(cand.Adversaries[ai].Chain, j)
+				if stillFails(cand) {
+					sc = cand
+					changed = true
+					j--
+				}
+			}
+		}
+
+		// 5. Soften magnitudes: ping counts, TCP sizes, replay
+		// amplification, flood rates toward their minimums.
+		for i, fl := range sc.Flows {
+			var cand Scenario
+			switch {
+			case fl.Kind == FlowPing && fl.Count > 1:
+				cand = sc
+				cand.Flows = cloneFlows(sc.Flows)
+				cand.Flows[i].Count = fl.Count / 2
+			case fl.Kind == FlowTCP && fl.KiB > 4:
+				cand = sc
+				cand.Flows = cloneFlows(sc.Flows)
+				cand.Flows[i].KiB = fl.KiB / 2
+			case fl.Kind == FlowUDP && fl.RateMbps > 2:
+				cand = sc
+				cand.Flows = cloneFlows(sc.Flows)
+				cand.Flows[i].RateMbps = fl.RateMbps / 2
+			default:
+				continue
+			}
+			if stillFails(cand) {
+				sc = cand
+				changed = true
+			}
+		}
+		for ai := range sc.Adversaries {
+			for j, atom := range sc.Adversaries[ai].Chain {
+				var next Atom
+				switch {
+				case atom.Kind == AtomReplay && atom.Extra > 2:
+					next = atom
+					next.Extra = 2
+				case atom.Kind == AtomFlood && atom.RateKpps > 2:
+					next = atom
+					next.RateKpps = 2
+				default:
+					continue
+				}
+				cand := sc
+				cand.Adversaries = cloneAdvs(sc.Adversaries)
+				cand.Adversaries[ai].Chain[j] = next
+				if stillFails(cand) {
+					sc = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return sc
+}
+
+func dropIndexA(s []Adversary, i int) []Adversary {
+	out := make([]Adversary, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+func dropIndexF(s []Flow, i int) []Flow {
+	out := make([]Flow, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+func dropIndexT(s []Atom, i int) []Atom {
+	out := make([]Atom, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+func cloneAdvs(s []Adversary) []Adversary {
+	out := make([]Adversary, len(s))
+	for i, a := range s {
+		out[i] = a
+		out[i].Chain = append([]Atom(nil), a.Chain...)
+	}
+	return out
+}
+
+func cloneFlows(s []Flow) []Flow {
+	return append([]Flow(nil), s...)
+}

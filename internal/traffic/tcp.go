@@ -40,6 +40,12 @@ type TCPConfig struct {
 	AckEvery int
 	// DelAckTimeout bounds ACK delay (default 1 ms).
 	DelAckTimeout time.Duration
+	// MaxBytes bounds the transfer: the sender offers no new data once
+	// MaxBytes have been put on the wire (rounded up to whole segments),
+	// so the flow quiesces deterministically once everything is
+	// acknowledged. Zero means unbounded (the iperf-style
+	// duration-bounded use).
+	MaxBytes uint32
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -116,6 +122,13 @@ func StartTCPFlow(from, to *Host, srcPort, dstPort uint16, cfg TCPConfig) *TCPFl
 // Stop freezes the sender (in-flight packets still drain).
 func (f *TCPFlow) Stop() { f.sender.stop() }
 
+// Done reports whether a bounded flow (MaxBytes > 0) has offered all its
+// data and seen every byte acknowledged. Unbounded flows are never done.
+func (f *TCPFlow) Done() bool {
+	s := f.sender
+	return s.cfg.MaxBytes > 0 && s.sndNxt >= s.cfg.MaxBytes && s.sndUna == s.sndNxt
+}
+
 // Stats merges sender and receiver accounting.
 func (f *TCPFlow) Stats() TCPStats {
 	s := f.sender.stats
@@ -191,6 +204,9 @@ func (s *tcpSender) sendData() {
 		wnd = rw
 	}
 	for s.flight()+float64(s.cfg.MSS) <= wnd {
+		if s.cfg.MaxBytes > 0 && s.sndNxt >= s.cfg.MaxBytes {
+			break
+		}
 		now := s.sched.Now()
 		if s.hasSRTT && now < s.nextSend {
 			if !s.paceTimer.Scheduled() {

@@ -183,6 +183,30 @@ func TestTCPCleanLinkReachesCapacity(t *testing.T) {
 	}
 }
 
+func TestTCPBoundedTransferQuiesces(t *testing.T) {
+	link := netem.LinkConfig{Bandwidth: 500e6, Delay: 15 * time.Microsecond, QueueLimit: 100}
+	sched, _, h1, h2 := pipe(t, link, HostConfig{})
+	const limit = 100 << 10
+	flow := StartTCPFlow(h1, h2, 40000, 5001, TCPConfig{MaxBytes: limit})
+	sched.RunUntil(3 * time.Second)
+
+	if !flow.Done() {
+		t.Fatal("bounded flow did not finish in 3s")
+	}
+	st := flow.Stats()
+	// The sender rounds the limit up to whole segments; the receiver must
+	// see exactly what was offered, and nothing more arrives afterwards.
+	wantBytes := uint64((limit + 1459) / 1460 * 1460)
+	if st.BytesAcked != wantBytes || st.GoodputBytes != wantBytes {
+		t.Fatalf("acked=%d goodput=%d, want %d", st.BytesAcked, st.GoodputBytes, wantBytes)
+	}
+	before := st.SegmentsSent
+	sched.RunFor(time.Second)
+	if after := flow.Stats().SegmentsSent; after != before {
+		t.Fatalf("quiesced flow sent %d more segments", after-before)
+	}
+}
+
 func TestTCPRecoversFromLoss(t *testing.T) {
 	// A tiny queue forces periodic drops; the flow must keep making
 	// progress via fast retransmit rather than stalling.
