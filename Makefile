@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench bench-flows sweep-smoke fuzz fuzz-smoke
+.PHONY: check vet build test race bench-guard bench bench-flows bench-scale sweep-smoke fuzz fuzz-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
 # the race detector (with scratch poisoning on, so retained engine events
@@ -27,14 +27,20 @@ race:
 	NETCO_POISON_SCRATCH=1 $(GO) test -race ./...
 
 # sweep-smoke runs a tiny 2-worker grid end to end through the CLI and
-# verifies the artifact is byte-identical to a single-worker run.
+# verifies the artifact is byte-identical to a single-worker run, then
+# re-runs the grid on the partitioned parallel engine (-partitions 4)
+# and demands the same bytes again — the CLI leg of the differential
+# determinism suite (the in-process legs run under `race` above).
 sweep-smoke:
 	$(GO) run ./cmd/netco-sweep -quick -kinds ping -scenarios Linespeed,Central3 \
 		-seeds 1:2 -workers 2 -json /tmp/netco-sweep-smoke-w2.json
 	$(GO) run ./cmd/netco-sweep -quick -kinds ping -scenarios Linespeed,Central3 \
 		-seeds 1:2 -workers 1 -json /tmp/netco-sweep-smoke-w1.json > /dev/null
 	cmp /tmp/netco-sweep-smoke-w1.json /tmp/netco-sweep-smoke-w2.json
-	@echo "sweep-smoke: artifacts byte-identical across worker counts"
+	$(GO) run ./cmd/netco-sweep -quick -kinds ping -scenarios Linespeed,Central3 \
+		-seeds 1:2 -workers 1 -partitions 4 -json /tmp/netco-sweep-smoke-p4.json > /dev/null
+	cmp /tmp/netco-sweep-smoke-w1.json /tmp/netco-sweep-smoke-p4.json
+	@echo "sweep-smoke: artifacts byte-identical across worker and partition counts"
 
 # fuzz-smoke is the scenario fuzzer's pre-merge budget: 200 randomized
 # Byzantine scenarios through all four invariant oracles (masking,
@@ -65,6 +71,13 @@ bench-guard:
 # bench reproduces the headline end-to-end number recorded in BENCH_1.json.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineIngest$$' -benchmem -benchtime 3s .
+
+# bench-scale reproduces the parallel-engine scaling curve recorded in
+# BENCH_5.json: cross-pod UDP over an 8-ary fat tree at partition counts
+# {1,2,4,8,12}, asserting the observation digest is bit-identical to the
+# serial run at every count (the bench exits nonzero on divergence).
+bench-scale:
+	$(GO) run ./cmd/netco-bench -scale
 
 # bench-flows reproduces the classifier numbers recorded in BENCH_3.json:
 # two-tier lookup vs the seed's linear scan at 8/64/512 rules, plus the

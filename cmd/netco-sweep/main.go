@@ -6,12 +6,20 @@
 //
 //	netco-sweep [-kinds tcp,udp,ping,jitter] [-scenarios all|name,...]
 //	            [-seeds 1,2,3 | -seeds 1:10] [-trunk-mbps 250,500,1000]
-//	            [-workers n] [-json f] [-quick] [-full]
+//	            [-workers n] [-partitions n] [-json f] [-quick] [-full]
 //
 // Every run builds its own scheduler, pools and engines; results are
 // ordered by grid position, so the artifact for a given grid is
 // byte-identical whatever -workers is. Interrupting with SIGINT cancels
 // not-yet-started runs and reports the completed prefix.
+//
+// The two parallelism axes compose and neither changes results:
+// -workers runs whole simulations concurrently (throughput across a
+// grid), while -partitions splits each simulation across the
+// conservative parallel engine's domains (latency of a single run; see
+// internal/sim/par). For large grids prefer -workers — per-run
+// isolation scales embarrassingly — and reserve -partitions for grids
+// of a few big runs.
 package main
 
 import (
@@ -51,6 +59,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seedsFlag = fs.String("seeds", "1", `seed list "1,2,3" or range "1:10" (inclusive)`)
 		trunkFlag = fs.String("trunk-mbps", "", "optional trunk-rate grid in Mbit/s (one variant per value)")
 		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		parts     = fs.Int("partitions", 0, "run each simulation on the parallel engine with this many partitions (0/1 = serial; orthogonal to -workers, which parallelises across runs — results are bit-identical either way)")
 		jsonPath  = fs.String("json", "", "write the full report as JSON to this file")
 		quick     = fs.Bool("quick", false, "smoke-test durations")
 		full      = fs.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
@@ -79,6 +88,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *quick {
 		base = base.Quick()
 	}
+	base.Partitions = *parts
 	variants, err := parseVariants(*trunkFlag, base)
 	if err != nil {
 		return err

@@ -103,7 +103,7 @@ func Build(net *netem.Network, spec CombinerSpec, newRouter func(i int) *switchi
 	}
 
 	c := &Combiner{K: spec.K}
-	c.Left = NewEdgeSwitch(net.Sched, EdgeConfig{
+	c.Left = NewEdgeSwitch(net.SchedulerFor(spec.NamePrefix+"s1"), EdgeConfig{
 		Name:       spec.NamePrefix + "s1",
 		EdgeID:     0,
 		Mode:       edgeMode,
@@ -111,7 +111,7 @@ func Build(net *netem.Network, spec CombinerSpec, newRouter func(i int) *switchi
 		ProcQueue:  spec.EdgeProcQueue,
 		SampleRate: spec.SampleRate,
 	})
-	c.Right = NewEdgeSwitch(net.Sched, EdgeConfig{
+	c.Right = NewEdgeSwitch(net.SchedulerFor(spec.NamePrefix+"s2"), EdgeConfig{
 		Name:       spec.NamePrefix + "s2",
 		EdgeID:     1,
 		Mode:       edgeMode,
@@ -135,7 +135,7 @@ func Build(net *netem.Network, spec CombinerSpec, newRouter func(i int) *switchi
 
 	if spec.Mode == CombinerInline {
 		for i, name := range []string{spec.NamePrefix + "mb1", spec.NamePrefix + "mb2"} {
-			mb := NewMiddlebox(net.Sched, MiddleboxConfig{
+			mb := NewMiddlebox(net.SchedulerFor(name), MiddleboxConfig{
 				Name:        name,
 				K:           spec.K,
 				Engine:      spec.Compare.Engine,
@@ -161,7 +161,7 @@ func Build(net *netem.Network, spec CombinerSpec, newRouter func(i int) *switchi
 			// forwarding.
 			cfg.Engine.DetectOnly = true
 		}
-		c.Compare = NewCompareNode(net.Sched, cfg)
+		c.Compare = NewCompareNode(net.SchedulerFor(cfg.Name), cfg)
 		net.Add(c.Compare)
 		comparePort := 1 + spec.K
 		net.Connect(c.Compare, 0, c.Left, comparePort, spec.CompareLink)

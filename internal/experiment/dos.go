@@ -64,11 +64,11 @@ func runDoSScenario(p Params, noIsolation bool, compromise func(i int) switching
 		Rate:        100e6,
 		PayloadSize: 1470,
 	})
-	tb.Sched.RunFor(50 * time.Millisecond)
+	tb.Runner.RunFor(50 * time.Millisecond)
 	src.Start()
-	tb.Sched.RunFor(p.UDPDuration)
+	tb.Runner.RunFor(p.UDPDuration)
 	src.Stop()
-	tb.Sched.RunFor(2 * p.CompareHold)
+	tb.Runner.RunFor(2 * p.CompareHold)
 
 	return sink.Stats().Goodput() / 1e6,
 		tb.Combiner.Compare.Stats().Blocks,
@@ -104,11 +104,11 @@ func runDoSFlood(p Params, noIsolation bool) (mbps float64, blocks, quotaDrops u
 		Rate:        100e6,
 		PayloadSize: 1470,
 	})
-	tb.Sched.RunFor(50 * time.Millisecond)
+	tb.Runner.RunFor(50 * time.Millisecond)
 	src.Start()
-	tb.Sched.RunFor(p.UDPDuration)
+	tb.Runner.RunFor(p.UDPDuration)
 	src.Stop()
-	tb.Sched.RunFor(2 * p.CompareHold)
+	tb.Runner.RunFor(2 * p.CompareHold)
 
 	return sink.Stats().Goodput() / 1e6,
 		tb.Combiner.Compare.Stats().Blocks,

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"netco/internal/traffic"
+)
+
+// The differential determinism suite: the parallel engine must produce
+// byte-identical artifacts to the serial engine for the same inputs, at
+// every partition count and under different GOMAXPROCS — on the Fig. 3
+// testbed, the fat tree, and the multipath network.
+
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func TestScaleDeterminismAcrossPartitions(t *testing.T) {
+	base := DefaultParams().Quick()
+	const arity, dur = 4, 60 * time.Millisecond
+
+	base.Partitions = 1
+	ref := RunScale(base, arity, dur)
+	if ref.Events == 0 {
+		t.Fatal("serial scale run executed no events")
+	}
+
+	for _, parts := range []int{2, 4, 8} {
+		for _, procs := range []int{1, 4} {
+			p := base
+			p.Partitions = parts
+			var got ScaleResult
+			withGOMAXPROCS(procs, func() { got = RunScale(p, arity, dur) })
+			if got.Digest != ref.Digest {
+				t.Errorf("partitions=%d GOMAXPROCS=%d: digest diverged from serial\n got: %s\nwant: %s",
+					parts, procs, got.Digest, ref.Digest)
+			}
+		}
+	}
+}
+
+func TestRunParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulations")
+	}
+	base := DefaultParams().Quick()
+	marshal := func(p Params) []byte {
+		res := Run(KindPing, p, ScenCentral3, 1)
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	ref := marshal(base)
+
+	for _, parts := range []int{1, 2, 4, 8} {
+		for _, procs := range []int{1, 4} {
+			if parts == 1 && procs == 4 {
+				continue // single domain ignores GOMAXPROCS
+			}
+			p := base
+			p.Partitions = parts
+			var got []byte
+			withGOMAXPROCS(procs, func() { got = marshal(p) })
+			if string(got) != string(ref) {
+				t.Errorf("partitions=%d GOMAXPROCS=%d: artifact diverged\n got: %s\nwant: %s",
+					parts, procs, got, ref)
+			}
+		}
+	}
+}
+
+func TestVirtualDeterminismAcrossPartitions(t *testing.T) {
+	base := DefaultParams().Quick()
+	base.UDPDuration = 150 * time.Millisecond
+
+	digest := func(p Params) string {
+		r, mp, h1, h2 := buildVirtualNet(p, 3, false, nil)
+		defer mp.Close()
+		sink := traffic.NewUDPSink(h2, 5002)
+		src := traffic.NewUDPSource(h1, 4002, h2.Endpoint(5002),
+			traffic.UDPSourceConfig{Rate: 60e6, PayloadSize: 700})
+		src.Start()
+		r.RunFor(p.UDPDuration)
+		src.Stop()
+		r.RunFor(50 * time.Millisecond)
+		st := sink.Stats()
+		return fmt.Sprintf("sent=%d u=%d b=%d d=%d r=%d sup=%d exec=%d",
+			src.Sent, st.Unique, st.UniqueBytes, st.Duplicates, st.Reordered,
+			mp.Right.EngineStats().Suppressed, r.Executed())
+	}
+
+	base.Partitions = 0
+	ref := digest(base)
+	for _, parts := range []int{1, 2, 4, 8} {
+		for _, procs := range []int{1, 4} {
+			if parts == 1 && procs == 4 {
+				continue
+			}
+			p := base
+			p.Partitions = parts
+			var got string
+			withGOMAXPROCS(procs, func() { got = digest(p) })
+			if got != ref {
+				t.Errorf("partitions=%d GOMAXPROCS=%d: diverged\n got: %s\nwant: %s", parts, procs, got, ref)
+			}
+		}
+	}
+}

@@ -88,6 +88,12 @@ type Params struct {
 	PingSeqs    int     // sequences averaged per bar (paper: 3 × 50)
 	JitterRate  float64 // offered load for the Fig. 8 sweep
 	Seed        int64
+
+	// Partitions > 1 runs each testbed on the parallel engine with that
+	// many domains (bit-identical to serial; see internal/sim/par).
+	// Workers bounds the engine's goroutines (0 = GOMAXPROCS).
+	Partitions int
+	Workers    int
 }
 
 // DefaultParams returns the calibrated configuration.
@@ -196,6 +202,8 @@ func (p Params) TestbedParams(s Scenario, compromise func(i int) switching.Behav
 			CacheCapacity: p.CompareCache,
 		},
 		Compromise: compromise,
+		Partitions: p.Partitions,
+		Workers:    p.Workers,
 	}
 	return tp
 }

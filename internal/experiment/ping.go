@@ -37,7 +37,7 @@ func runPing(p Params, s Scenario, build func() *topo.Testbed) PingScenarioResul
 	var all metrics.Summary
 	for seq := 0; seq < p.PingSeqs; seq++ {
 		tb := build()
-		tb.Sched.RunFor(50 * time.Millisecond)
+		tb.Runner.RunFor(50 * time.Millisecond)
 		pinger := traffic.NewPinger(tb.H1, tb.H2.Endpoint(0), traffic.PingerConfig{
 			Count:    p.PingCount,
 			Interval: 10 * time.Millisecond,
@@ -45,7 +45,7 @@ func runPing(p Params, s Scenario, build func() *topo.Testbed) PingScenarioResul
 		})
 		var got traffic.PingResult
 		pinger.Run(func(r traffic.PingResult) { got = r })
-		tb.Sched.RunFor(time.Duration(p.PingCount)*10*time.Millisecond + 2*time.Second)
+		tb.Runner.RunFor(time.Duration(p.PingCount)*10*time.Millisecond + 2*time.Second)
 		res.Sent += got.Sent
 		res.Received += got.Received
 		if got.RTT.N() > 0 {

@@ -48,11 +48,11 @@ func runTCP(p Params, s Scenario, build func() *topo.Testbed) TCPResult {
 		// Let proactive state settle, then skip the connection's slow-
 		// start transient (iperf's long runs amortise it; our shorter
 		// windows measure the steady state directly).
-		tb.Sched.RunFor(50 * time.Millisecond)
+		tb.Runner.RunFor(50 * time.Millisecond)
 		flow := traffic.StartTCPFlow(src, dst, 40000+uint16(run), 5001, traffic.TCPConfig{})
-		tb.Sched.RunFor(500 * time.Millisecond)
+		tb.Runner.RunFor(500 * time.Millisecond)
 		warmupBytes := flow.Stats().GoodputBytes
-		tb.Sched.RunFor(p.TCPDuration)
+		tb.Runner.RunFor(p.TCPDuration)
 		flow.Stop()
 		st := flow.Stats()
 		goodput := metrics.Throughput(st.GoodputBytes-warmupBytes, p.TCPDuration)

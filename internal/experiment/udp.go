@@ -48,11 +48,11 @@ func measureUDPOn(p Params, s Scenario, build func() *topo.Testbed, rate float64
 		Jitter:      100 * time.Microsecond,
 		Rng:         rng,
 	})
-	tb.Sched.RunFor(50 * time.Millisecond) // settle
+	tb.Runner.RunFor(50 * time.Millisecond) // settle
 	src.Start()
-	tb.Sched.RunFor(p.UDPDuration)
+	tb.Runner.RunFor(p.UDPDuration)
 	src.Stop()
-	tb.Sched.RunFor(2 * p.CompareHold) // drain in-flight copies
+	tb.Runner.RunFor(2 * p.CompareHold) // drain in-flight copies
 
 	st := sink.Stats()
 	return UDPPoint{

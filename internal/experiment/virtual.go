@@ -9,6 +9,7 @@ import (
 	"netco/internal/openflow"
 	"netco/internal/packet"
 	"netco/internal/sim"
+	"netco/internal/sim/par"
 	"netco/internal/switching"
 	"netco/internal/topo"
 	"netco/internal/traffic"
@@ -43,7 +44,7 @@ func RunVirtual(p Params) VirtualResult {
 
 	// Prevention: 3 paths, the middle one tampering with TOS.
 	{
-		sched, mp, h1, h2 := buildVirtualNet(p, 3, false, func(path, hop int) switching.Behavior {
+		r, mp, h1, h2 := buildVirtualNet(p, 3, false, func(path, hop int) switching.Behavior {
 			if path == 1 && hop == 0 {
 				return &adversary.Modify{
 					Match:   openflow.MatchAll().WithDlDst(packet.HostMAC(2)),
@@ -55,9 +56,9 @@ func RunVirtual(p Params) VirtualResult {
 		sink := traffic.NewUDPSink(h2, 5001)
 		src := traffic.NewUDPSource(h1, 4001, h2.Endpoint(5001), traffic.UDPSourceConfig{Rate: 20e6, PayloadSize: 1000})
 		src.Start()
-		sched.RunFor(500 * time.Millisecond)
+		r.RunFor(500 * time.Millisecond)
 		src.Stop()
-		sched.RunFor(100 * time.Millisecond)
+		r.RunFor(100 * time.Millisecond)
 		res.PreventSent = src.Sent
 		res.PreventDelivered = sink.Stats().Unique
 		res.PreventSuppressed = mp.Right.EngineStats().Suppressed
@@ -66,7 +67,7 @@ func RunVirtual(p Params) VirtualResult {
 
 	// Detection: 2 paths, one dropper; measure time to first alarm.
 	{
-		sched, mp, h1, h2 := buildVirtualNet(p, 2, true, func(path, hop int) switching.Behavior {
+		r, mp, h1, h2 := buildVirtualNet(p, 2, true, func(path, hop int) switching.Behavior {
 			if path == 1 && hop == 0 {
 				return &adversary.Drop{Match: openflow.MatchAll().WithDlDst(packet.HostMAC(2))}
 			}
@@ -84,9 +85,9 @@ func RunVirtual(p Params) VirtualResult {
 		sink := traffic.NewUDPSink(h2, 5001)
 		src := traffic.NewUDPSource(h1, 4001, h2.Endpoint(5001), traffic.UDPSourceConfig{Rate: 20e6, PayloadSize: 1000})
 		src.Start()
-		sched.RunFor(500 * time.Millisecond)
+		r.RunFor(500 * time.Millisecond)
 		src.Stop()
-		sched.RunFor(100 * time.Millisecond)
+		r.RunFor(100 * time.Millisecond)
 		res.DetectSent = src.Sent
 		res.DetectDelivered = sink.Stats().Unique
 		mp.Close()
@@ -94,8 +95,8 @@ func RunVirtual(p Params) VirtualResult {
 
 	// Overhead: honest 3-path combiner vs a single bare path.
 	{
-		sched, mp, h1, h2 := buildVirtualNet(p, 3, false, nil)
-		pt := runVirtualUDP(sched, h1, h2, p)
+		r, mp, h1, h2 := buildVirtualNet(p, 3, false, nil)
+		pt := runVirtualUDP(r, h1, h2, p)
 		res.CombinedMbps = pt
 		res.BandwidthCost = 3
 		mp.Close()
@@ -127,10 +128,25 @@ func hostCfgOf(p Params) traffic.HostConfig {
 	}
 }
 
-func buildVirtualNet(p Params, paths int, detectOnly bool, compromise func(path, hop int) switching.Behavior) (*sim.Scheduler, *topo.Multipath, *traffic.Host, *traffic.Host) {
-	sched := sim.NewScheduler()
-	net := netem.New(sched)
+func buildVirtualNet(p Params, paths int, detectOnly bool, compromise func(path, hop int) switching.Behavior) (sim.Runner, *topo.Multipath, *traffic.Host, *traffic.Host) {
 	link := p.TrunkLink()
+	var net *netem.Network
+	var runner sim.Runner
+	var eng *par.Engine
+	domains := p.Partitions
+	if units := 2 + paths; domains > units {
+		domains = units
+	}
+	if domains > 1 && link.Delay > 0 && p.HostLink().Delay > 0 {
+		eng = par.New(domains, p.Workers)
+		net = netem.NewPartitioned(eng.Schedulers(), topo.MultipathAssign(domains),
+			func(src, dst int) netem.CrossPost { return eng.Boundary(src, dst) })
+		runner = eng
+	} else {
+		sched := sim.NewScheduler()
+		net = netem.New(sched)
+		runner = sched
+	}
 	mp := topo.BuildMultipath(net, topo.MultipathParams{
 		Paths:           paths,
 		HopsPerPath:     2,
@@ -149,23 +165,26 @@ func buildVirtualNet(p Params, paths int, detectOnly bool, compromise func(path,
 		},
 		Compromise: compromise,
 	})
-	h1 := traffic.NewHost(sched, "h1", packet.HostMAC(1), packet.HostIP(1), hostCfgOf(p))
-	h2 := traffic.NewHost(sched, "h2", packet.HostMAC(2), packet.HostIP(2), hostCfgOf(p))
+	h1 := traffic.NewHost(net.SchedulerFor("h1"), "h1", packet.HostMAC(1), packet.HostIP(1), hostCfgOf(p))
+	h2 := traffic.NewHost(net.SchedulerFor("h2"), "h2", packet.HostMAC(2), packet.HostIP(2), hostCfgOf(p))
 	net.Add(h1)
 	net.Add(h2)
 	net.Connect(h1, traffic.HostPort, mp.Left, core.VirtualHostPort, p.HostLink())
 	net.Connect(h2, traffic.HostPort, mp.Right, core.VirtualHostPort, p.HostLink())
 	mp.Route(h1.MAC(), core.SideLeft)
 	mp.Route(h2.MAC(), core.SideRight)
-	return sched, mp, h1, h2
+	if eng != nil {
+		eng.SetLookahead(net.MinCrossDelay())
+	}
+	return runner, mp, h1, h2
 }
 
-func runVirtualUDP(sched *sim.Scheduler, h1, h2 *traffic.Host, p Params) float64 {
+func runVirtualUDP(r sim.Runner, h1, h2 *traffic.Host, p Params) float64 {
 	sink := traffic.NewUDPSink(h2, 5002)
 	src := traffic.NewUDPSource(h1, 4002, h2.Endpoint(5002), traffic.UDPSourceConfig{Rate: 300e6, PayloadSize: 1470})
 	src.Start()
-	sched.RunFor(p.UDPDuration)
+	r.RunFor(p.UDPDuration)
 	src.Stop()
-	sched.RunFor(100 * time.Millisecond)
+	r.RunFor(100 * time.Millisecond)
 	return sink.Stats().Goodput() / 1e6
 }

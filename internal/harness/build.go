@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"netco/internal/adversary"
@@ -10,6 +11,7 @@ import (
 	"netco/internal/openflow"
 	"netco/internal/packet"
 	"netco/internal/sim"
+	"netco/internal/sim/par"
 	"netco/internal/switching"
 	"netco/internal/topo"
 	"netco/internal/traffic"
@@ -55,16 +57,21 @@ var floodSrcMAC = packet.HostMAC(0xee)
 
 // fabric is an assembled scenario network, before taps and traffic.
 type fabric struct {
-	sched *sim.Scheduler
-	net   *netem.Network
-	h1    *traffic.Host
-	h2    *traffic.Host
-	combs []*core.Combiner
+	runner sim.Runner
+	net    *netem.Network
+	h1     *traffic.Host
+	h2     *traffic.Host
+	combs  []*core.Combiner
 	// behaviors maps global router index -> installed adversary chain,
 	// so activity accounting can read the counters after a run.
 	behaviors map[int]switching.Behavior
 	// floods collects the generators so Execute can bound them.
 	floods []*adversary.Flood
+}
+
+// schedOf returns the scheduler owning a node, in either engine mode.
+func (f *fabric) schedOf(name string) *sim.Scheduler {
+	return f.net.SchedulerFor(name)
 }
 
 func (f *fabric) close() {
@@ -76,23 +83,95 @@ func (f *fabric) close() {
 	}
 }
 
+// fabricUnits is the co-location unit count of each scenario topology
+// (see internal/topo/partition.go for the unit rule: nodes that share
+// mutable state through direct calls must share a domain).
+func fabricUnits(sc Scenario) int {
+	switch sc.Topology {
+	case TopoChain:
+		return 4 // c0, c1, h1, h2
+	case TopoFatTree:
+		return 9 // 4 pods, 2 core groups, combiner, h1, h2
+	default:
+		return 3 // combiner, h1, h2
+	}
+}
+
+// fabricUnit maps a node name to its unit. Combiner nodes all carry the
+// "c<i>-" prefix, so a whole combiner (edges, routers, compare — which
+// call each other directly) lands in one unit; hosts get their own; the
+// fat-tree switches reuse the pod/core-group scheme.
+func fabricUnit(sc Scenario, name string) int {
+	switch sc.Topology {
+	case TopoChain:
+		switch {
+		case strings.HasPrefix(name, "c0-"):
+			return 0
+		case strings.HasPrefix(name, "c1-"):
+			return 1
+		case name == "h1":
+			return 2
+		default:
+			return 3
+		}
+	case TopoFatTree:
+		switch {
+		case strings.HasPrefix(name, "c0-"):
+			return 6
+		case name == "h1":
+			return 7
+		case name == "h2":
+			return 8
+		default:
+			// 4-ary fat tree: pods 0..3, core groups 4..5. With six
+			// domains the modulo inside FatTreeAssign is the identity.
+			return topo.FatTreeAssign(4, 6)(name)
+		}
+	default:
+		switch name {
+		case "h1":
+			return 1
+		case "h2":
+			return 2
+		default:
+			return 0
+		}
+	}
+}
+
 // buildFabric wires the scenario's topology with its adversaries already
 // attached (behaviors must be installed at router construction so Flood
-// generators start with the simulation).
-func buildFabric(sc Scenario) *fabric {
-	sched := sim.NewScheduler()
-	net := netem.New(sched)
-	f := &fabric{sched: sched, net: net, behaviors: make(map[int]switching.Behavior)}
+// generators start with the simulation). partitions > 1 runs the fabric
+// on the conservative parallel engine with that many domains (capped at
+// the topology's unit count); the result is bit-identical to serial.
+func buildFabric(sc Scenario, partitions int) *fabric {
+	f := &fabric{behaviors: make(map[int]switching.Behavior)}
+	domains := partitions
+	if u := fabricUnits(sc); domains > u {
+		domains = u
+	}
+	var eng *par.Engine
+	if domains > 1 {
+		eng = par.New(domains, 0)
+		f.net = netem.NewPartitioned(eng.Schedulers(),
+			func(name string) int { return fabricUnit(sc, name) % domains },
+			func(src, dst int) netem.CrossPost { return eng.Boundary(src, dst) })
+		f.runner = eng
+	} else {
+		sched := sim.NewScheduler()
+		f.net = netem.New(sched)
+		f.runner = sched
+	}
 
 	hostCfg := traffic.HostConfig{
 		IngestPerPacket: hostIngest,
 		IngestQueue:     hostQueue,
 		EchoResponder:   true,
 	}
-	f.h1 = traffic.NewHost(sched, "h1", packet.HostMAC(1), packet.HostIP(1), hostCfg)
-	f.h2 = traffic.NewHost(sched, "h2", packet.HostMAC(2), packet.HostIP(2), hostCfg)
-	net.Add(f.h1)
-	net.Add(f.h2)
+	f.h1 = traffic.NewHost(f.schedOf("h1"), "h1", packet.HostMAC(1), packet.HostIP(1), hostCfg)
+	f.h2 = traffic.NewHost(f.schedOf("h2"), "h2", packet.HostMAC(2), packet.HostIP(2), hostCfg)
+	f.net.Add(f.h1)
+	f.net.Add(f.h2)
 
 	switch sc.Topology {
 	case TopoFatTree:
@@ -101,6 +180,11 @@ func buildFabric(sc Scenario) *fabric {
 		buildChainFabric(f, sc)
 	default:
 		buildTestbedFabric(f, sc)
+	}
+	if eng != nil {
+		// Every harness link has propDelay > 0, so the lookahead is
+		// always positive.
+		eng.SetLookahead(f.net.MinCrossDelay())
 	}
 	return f
 }
@@ -140,8 +224,9 @@ func (f *fabric) buildCombiner(sc Scenario, ci int) *core.Combiner {
 		spec.Compare.Engine.Majority = sc.K / 2
 	}
 	comb := core.Build(f.net, spec, func(i int) *switching.Switch {
-		sw := switching.New(f.sched, switching.Config{
-			Name:       fmt.Sprintf("c%d-r%d", ci, i),
+		name := fmt.Sprintf("c%d-r%d", ci, i)
+		sw := switching.New(f.schedOf(name), switching.Config{
+			Name:       name,
 			DatapathID: uint64(100 + ci*core.MaxK + i),
 			ProcDelay:  switchProc,
 			ProcQueue:  switchQueue,

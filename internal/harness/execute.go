@@ -116,22 +116,34 @@ type emitKey struct {
 }
 
 // combTap observes one combiner: which routers emitted which frames
-// (no-forgery ledger) and what the compare released.
+// (no-forgery ledger) and what the compare released. All of a tap's
+// state is written only from its combiner's domain, so taps need no
+// locking under the partitioned engine; alarms and violations are
+// collected per combiner and merged deterministically after the run
+// (identically in serial mode, so observations stay byte-identical).
 type combTap struct {
-	emitted map[emitKey]uint16 // bitmask of router indices
-	dirs    [2]*dirTap
-	tracer  *trace.Tracer
+	emitted    map[emitKey]uint16 // bitmask of router indices
+	dirs       [2]*dirTap
+	tracer     *trace.Tracer
+	alarms     []AlarmObs
+	violations []Violation
 }
 
-// Execute runs the scenario once and returns its observation plus the
-// single-run oracle verdicts. It is a pure function of the scenario: the
-// whole simulation (scheduler, pools, engines) is built and discarded
-// inside, so concurrent Executes are safe.
-func Execute(sc Scenario) (RunResult, error) {
+// Execute runs the scenario once on the serial engine and returns its
+// observation plus the single-run oracle verdicts. It is a pure function
+// of the scenario: the whole simulation (scheduler, pools, engines) is
+// built and discarded inside, so concurrent Executes are safe.
+func Execute(sc Scenario) (RunResult, error) { return ExecuteP(sc, 1) }
+
+// ExecuteP is Execute on the conservative parallel engine with the given
+// domain count (1 = serial). The observation is bit-identical to the
+// serial one at every partition count — that is the tentpole guarantee,
+// and Check enforces it as part of the determinism oracle.
+func ExecuteP(sc Scenario, partitions int) (RunResult, error) {
 	if err := sc.Validate(); err != nil {
 		return RunResult{}, err
 	}
-	f := buildFabric(sc)
+	f := buildFabric(sc, partitions)
 	defer f.close()
 
 	// Taps. Router OnTransmit feeds the no-forgery ledger; the compare's
@@ -169,7 +181,7 @@ func Execute(sc Scenario) (RunResult, error) {
 			if forgeryChecked {
 				mask := tap.emitted[emitKey{edge: edgeID, digest: packet.DigestBytes(wire)}]
 				if bits.OnesCount16(mask) < majority {
-					res.Violations = append(res.Violations, Violation{
+					tap.violations = append(tap.violations, Violation{
 						Oracle: OracleNoForgery,
 						Detail: fmt.Sprintf("combiner %d edge %d released a frame emitted by %d of %d routers (majority %d)",
 							ci, edgeID, bits.OnesCount16(mask), sc.K, majority),
@@ -178,7 +190,7 @@ func Execute(sc Scenario) (RunResult, error) {
 			}
 		}
 		comb.Compare.OnAlarm = func(a core.Alarm) {
-			res.Obs.Alarms = append(res.Obs.Alarms, AlarmObs{
+			tap.alarms = append(tap.alarms, AlarmObs{
 				Combiner: ci,
 				Edge:     a.Edge,
 				Kind:     alarmKind(a.Kind),
@@ -193,7 +205,18 @@ func Execute(sc Scenario) (RunResult, error) {
 	flows := startFlows(f, sc)
 
 	// Run the fixed timeline to quiescence.
-	f.sched.RunUntil(settleTime + windowTime + drainTime)
+	f.runner.RunUntil(settleTime + windowTime + drainTime)
+
+	// Merge the per-combiner streams canonically: alarms globally by
+	// firing time (stable, so same-instant alarms order by combiner,
+	// then per-combiner firing order); violations in combiner order.
+	for _, tap := range taps {
+		res.Obs.Alarms = append(res.Obs.Alarms, tap.alarms...)
+		res.Violations = append(res.Violations, tap.violations...)
+	}
+	sort.SliceStable(res.Obs.Alarms, func(i, j int) bool {
+		return res.Obs.Alarms[i].AtNs < res.Obs.Alarms[j].AtNs
+	})
 
 	// Collect.
 	for ci := range f.combs {
@@ -300,7 +323,9 @@ type runningFlows struct {
 
 // startFlows schedules every flow on the fixed timeline: flow i starts
 // at settle + i·stagger; UDP sources stop at the window end; TCP and
-// ping are self-bounding.
+// ping are self-bounding. Endpoints are constructed during this single-
+// threaded setup phase; each start/stop event is scheduled on its source
+// host's own scheduler, so flows work unchanged under partitioning.
 func startFlows(f *fabric, sc Scenario) *runningFlows {
 	rf := &runningFlows{specs: sc.Flows}
 	rf.pingers = make([]*traffic.Pinger, len(sc.Flows))
@@ -308,11 +333,12 @@ func startFlows(f *fabric, sc Scenario) *runningFlows {
 	rf.udpSink = make([]*traffic.UDPSink, len(sc.Flows))
 	rf.tcp = make([]*traffic.TCPFlow, len(sc.Flows))
 	for i, fl := range sc.Flows {
-		i, fl := i, fl
+		fl := fl
 		src, dst := f.h1, f.h2
 		if fl.Reverse {
 			src, dst = f.h2, f.h1
 		}
+		srcSched := f.schedOf(src.Name())
 		basePort := uint16(40000 + i*16)
 		start := settleTime + time.Duration(i)*flowStagger
 		switch fl.Kind {
@@ -324,7 +350,7 @@ func startFlows(f *fabric, sc Scenario) *runningFlows {
 				ID:       uint16(1 + i),
 			})
 			rf.pingers[i] = p
-			f.sched.After(start, func() { p.Run(nil) })
+			srcSched.After(start, func() { p.Run(nil) })
 		case FlowUDP:
 			sink := traffic.NewUDPSink(dst, basePort+1)
 			s := traffic.NewUDPSource(src, basePort, dst.Endpoint(basePort+1), traffic.UDPSourceConfig{
@@ -332,14 +358,14 @@ func startFlows(f *fabric, sc Scenario) *runningFlows {
 				PayloadSize: fl.PayloadSize,
 			})
 			rf.udpSrc[i], rf.udpSink[i] = s, sink
-			f.sched.After(start, s.Start)
-			f.sched.After(settleTime+windowTime, s.Stop)
+			srcSched.After(start, s.Start)
+			srcSched.After(settleTime+windowTime, s.Stop)
 		case FlowTCP:
-			f.sched.After(start, func() {
-				rf.tcp[i] = traffic.StartTCPFlow(src, dst, basePort, basePort+1, traffic.TCPConfig{
-					MaxBytes: uint32(fl.KiB) << 10,
-				})
+			t := traffic.NewTCPFlow(src, dst, basePort, basePort+1, traffic.TCPConfig{
+				MaxBytes: uint32(fl.KiB) << 10,
 			})
+			rf.tcp[i] = t
+			srcSched.After(start, t.Start)
 		}
 	}
 	return rf

@@ -31,8 +31,9 @@ func (r CheckResult) Oracles() []string {
 // Check executes the scenario and applies all four oracles:
 //
 //   - no-forgery and detection are decided inside Execute;
-//   - determinism re-executes the identical scenario and requires a
-//     byte-identical canonical observation;
+//   - determinism re-executes the identical scenario twice more — once
+//     serial, once on the partitioned parallel engine (4 domains) — and
+//     requires byte-identical canonical observations from both;
 //   - masking (k=3 only) executes the honest twin — same scenario,
 //     adversaries stripped — and requires each direction's released
 //     frame multiset to match. The twin comparison is on IP-ID-
@@ -61,6 +62,17 @@ func Check(sc Scenario) (CheckResult, error) {
 		res.Violations = append(res.Violations, Violation{
 			Oracle: OracleDeterminism,
 			Detail: "identical scenario produced different observations across executions",
+		})
+	}
+
+	rp, err := ExecuteP(sc, 4)
+	if err != nil {
+		return res, err
+	}
+	if !bytes.Equal(r1.Obs.CanonicalJSON(), rp.Obs.CanonicalJSON()) {
+		res.Violations = append(res.Violations, Violation{
+			Oracle: OracleDeterminism,
+			Detail: "parallel engine (4 partitions) diverged from serial execution",
 		})
 	}
 

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestExecuteParallelByteIdentical is the harness leg of the differential
+// determinism suite: adversarial scenarios on every topology, executed on
+// the partitioned engine at several domain counts and GOMAXPROCS
+// settings, must produce byte-identical canonical observations AND
+// identical violation lists. Chain scenarios put two combiners in
+// different domains, so this also exercises the per-combiner alarm and
+// violation collection merge. Run with -race to check the partition
+// barrier.
+func TestExecuteParallelByteIdentical(t *testing.T) {
+	scenarios := map[string]Scenario{
+		"testbed-drop-k2": {
+			Seed: 11, Topology: TopoTestbed, K: 2, TrunkMbps: 1000,
+			Flows: []Flow{
+				{Kind: FlowPing, Count: 5},
+				{Kind: FlowUDP, RateMbps: 10, PayloadSize: 256},
+			},
+			Adversaries: []Adversary{{Router: 0, Chain: []Atom{{Kind: AtomDrop, Probability: 1}}}},
+		},
+		"chain-modify-k3": {
+			Seed: 7, Topology: TopoChain, K: 3, TrunkMbps: 1000,
+			Flows: []Flow{
+				{Kind: FlowTCP, KiB: 64},
+				{Kind: FlowUDP, RateMbps: 20, PayloadSize: 512, Reverse: true},
+			},
+			Adversaries: []Adversary{
+				{Router: 1, Chain: []Atom{{Kind: AtomModify, Rewrite: "tos"}}},
+				{Router: 3, Chain: []Atom{{Kind: AtomReplay, Extra: 3}}},
+			},
+		},
+		"fattree-flood-k3": {
+			Seed: 3, Topology: TopoFatTree, K: 3, TrunkMbps: 1000,
+			Flows: []Flow{
+				{Kind: FlowPing, Count: 5},
+				{Kind: FlowUDP, RateMbps: 10, PayloadSize: 300},
+			},
+			Adversaries: []Adversary{{Router: 2, Chain: []Atom{{Kind: AtomFlood, Dir: 1, RateKpps: 5}}}},
+		},
+	}
+
+	for name, sc := range scenarios {
+		name, sc := name, sc
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := Execute(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refJSON := ref.Obs.CanonicalJSON()
+			for _, parts := range []int{2, 3, 4, 8} {
+				for _, procs := range []int{1, 4} {
+					got := executeAt(t, sc, parts, procs)
+					if !bytes.Equal(got.Obs.CanonicalJSON(), refJSON) {
+						t.Errorf("partitions=%d GOMAXPROCS=%d: observation diverged\n got: %s\nwant: %s",
+							parts, procs, got.Obs.CanonicalJSON(), refJSON)
+					}
+					if fmt.Sprintf("%+v", got.Violations) != fmt.Sprintf("%+v", ref.Violations) {
+						t.Errorf("partitions=%d GOMAXPROCS=%d: violations diverged\n got: %+v\nwant: %+v",
+							parts, procs, got.Violations, ref.Violations)
+					}
+				}
+			}
+		})
+	}
+}
+
+func executeAt(t *testing.T, sc Scenario, parts, procs int) RunResult {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	res, err := ExecuteP(sc, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

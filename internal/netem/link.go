@@ -15,6 +15,8 @@ package netem
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 
 	"netco/internal/packet"
@@ -56,17 +58,39 @@ type attachment struct {
 }
 
 type linkDir struct {
-	busyUntil time.Duration
-	queued    int
-	stats     LinkStats
+	busyUntil  time.Duration
+	queued     int
+	deliverSeq uint64 // per-direction delivery counter: the channel key
+	stats      LinkStats
+}
+
+// CrossPost is the partitioned engine's boundary: where a link's two ends
+// live in different partitions, deliveries are posted through it instead
+// of being scheduled locally, carrying the same (channel, sequence) key a
+// local delivery would. par.Boundary satisfies it.
+type CrossPost interface {
+	Post(at time.Duration, ch, seq uint64, fn sim.CallFunc, a0, a1 any, n int)
 }
 
 // Link is a duplex point-to-point link. Each direction has independent
 // serialisation state and a drop-tail queue, like a veth pair with tc
 // netem/tbf attached in the paper's Mininet setup.
+//
+// Every delivery is scheduled as a channel event keyed by
+// (id*2+direction, per-direction sequence). The id is globally unique
+// and monotone in creation order, so within any one run the keys of
+// same-instant deliveries compare in link-creation order — the property
+// that makes the serial and partitioned engines execute identical event
+// sequences (see internal/sim/par).
 type Link struct {
-	name  string
-	sched *sim.Scheduler
+	name string
+	id   uint64
+	// scheds[end] is the scheduler of the node attached at end; both
+	// entries are the same scheduler unless the link crosses partitions.
+	scheds [2]*sim.Scheduler
+	// cross[fromEnd] is non-nil iff the ends are in different partitions:
+	// the boundary that carries fromEnd's deliveries to the peer domain.
+	cross [2]CrossPost
 	cfg   LinkConfig
 	ends  [2]attachment
 	dirs  [2]linkDir
@@ -74,9 +98,21 @@ type Link struct {
 	down bool
 }
 
+// linkIDs hands out globally unique, monotone link ids. Only the
+// *relative* order of ids matters (they break same-instant delivery
+// ties), so a process-wide counter keeps concurrent sweep runs
+// deterministic: each run's links still get ids in its own creation
+// order.
+var linkIDs atomic.Uint64
+
 // NewLink creates an unattached link. Most callers use Connect instead.
 func NewLink(sched *sim.Scheduler, name string, cfg LinkConfig) *Link {
-	return &Link{name: name, sched: sched, cfg: cfg}
+	return &Link{
+		name:   name,
+		id:     linkIDs.Add(1),
+		scheds: [2]*sim.Scheduler{sched, sched},
+		cfg:    cfg,
+	}
 }
 
 // Name returns the link's diagnostic name.
@@ -120,11 +156,17 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 		return false
 	}
 
-	now := l.sched.Now()
+	sched := l.scheds[fromEnd] // Send runs in the transmitting node's domain
+	now := sched.Now()
 	var txTime time.Duration
 	if l.cfg.Bandwidth > 0 {
 		bits := float64(pkt.WireLen()+packet.FrameOverhead) * 8
-		txTime = time.Duration(bits / l.cfg.Bandwidth * float64(time.Second))
+		// Round to the nearest nanosecond instead of truncating: at high
+		// line rates truncation yields txTime == 0 and back-to-back
+		// frames collapse onto one instant (a 64 B minimum frame at
+		// 10 Gb/s serialises in 67.2 ns — truncation would still order
+		// them, but any rate where the true time is < 1 ns would not).
+		txTime = time.Duration(math.Round(bits / l.cfg.Bandwidth * 1e9))
 	}
 	start := now
 	if d.busyUntil > start {
@@ -138,9 +180,20 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 
 	// Argument-carrying events: two events per transmission with zero
 	// closure allocations (the link is the single hottest scheduler
-	// client — every packet on every hop passes through here).
-	l.sched.AtCall(finish, linkTxDone, d, nil, 0)
-	l.sched.AtCall(finish+l.cfg.Delay, linkDeliver, &l.ends[1-fromEnd], pkt, 0)
+	// client — every packet on every hop passes through here). The
+	// tx-done bookkeeping is local to the sender; the delivery is a
+	// keyed channel event on the receiver's scheduler, routed over the
+	// partition boundary when the ends live in different domains.
+	sched.AtCall(finish, linkTxDone, d, nil, 0)
+	ch := l.id*2 + uint64(fromEnd)
+	seq := d.deliverSeq
+	d.deliverSeq++
+	at := finish + l.cfg.Delay
+	if cp := l.cross[fromEnd]; cp != nil {
+		cp.Post(at, ch, seq, linkDeliver, &l.ends[1-fromEnd], pkt, 0)
+	} else {
+		sched.AtCallChan(at, ch, seq, linkDeliver, &l.ends[1-fromEnd], pkt, 0)
+	}
 	return true
 }
 

@@ -351,3 +351,60 @@ func TestThroughputMatchesBandwidth(t *testing.T) {
 		t.Fatalf("goodput %.1f Mbit/s, want ≈%.1f", goodput/1e6, want/1e6)
 	}
 }
+
+// TestLinkMinFrameTimingAt10G pins the serialisation time of back-to-back
+// minimum-size frames at 10 Gb/s: 66 B on the wire (42 B headers + 24 B
+// framing) is 528 bits = 52.8 ns, which must round to 53 ns — truncation
+// would model 52 ns and, at still higher rates, 0 ns, collapsing distinct
+// frames onto one instant.
+func TestLinkMinFrameTimingAt10G(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := New(sched)
+	a, b := newCollector(sched, "a"), newCollector(sched, "b")
+	net.Add(a)
+	net.Add(b)
+	net.Connect(a, 0, b, 0, LinkConfig{Bandwidth: 10e9})
+
+	p := testPacket(0)
+	const n = 8
+	for i := 0; i < n; i++ {
+		if !a.ports.Send(0, p.Clone()) {
+			t.Fatalf("send %d rejected", i)
+		}
+	}
+	sched.Run()
+	if len(b.at) != n {
+		t.Fatalf("delivered %d, want %d", len(b.at), n)
+	}
+	for i, at := range b.at {
+		if want := time.Duration(i+1) * 53 * time.Nanosecond; at != want {
+			t.Fatalf("frame %d delivered at %v, want %v (52.8 ns rounded per frame)", i, at, want)
+		}
+	}
+}
+
+// TestLinkSubNanosecondRateKeepsOrdering drives the rate high enough that
+// the true per-frame serialisation time is under 1 ns: rounding must keep
+// it at 1 ns so consecutive frames still get distinct, ordered instants.
+func TestLinkSubNanosecondRateKeepsOrdering(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := New(sched)
+	a, b := newCollector(sched, "a"), newCollector(sched, "b")
+	net.Add(a)
+	net.Add(b)
+	net.Connect(a, 0, b, 0, LinkConfig{Bandwidth: 1e12}) // 66 B → 0.528 ns
+
+	p := testPacket(0)
+	for i := 0; i < 4; i++ {
+		a.ports.Send(0, p.Clone())
+	}
+	sched.Run()
+	if len(b.at) != 4 {
+		t.Fatalf("delivered %d, want 4", len(b.at))
+	}
+	for i := 1; i < len(b.at); i++ {
+		if b.at[i] <= b.at[i-1] {
+			t.Fatalf("frames %d and %d collapsed onto %v", i-1, i, b.at[i])
+		}
+	}
+}

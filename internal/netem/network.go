@@ -3,6 +3,7 @@ package netem
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"netco/internal/packet"
 	"netco/internal/sim"
@@ -71,16 +72,76 @@ func (ps *Ports) List() []int {
 // Network owns a simulation's nodes and links and provides topology
 // assembly helpers.
 type Network struct {
+	// Sched is the single scheduler of a serial network. It is nil in a
+	// partitioned network — builders must place every node with
+	// SchedulerFor, and a stray use of Sched fails fast instead of
+	// silently scheduling into the wrong domain.
 	Sched *sim.Scheduler
 
 	nodes map[string]Node
 	links []*Link
+
+	// Partitioned-mode wiring (nil/zero in serial networks).
+	scheds   []*sim.Scheduler
+	assign   func(name string) int
+	cross    func(src, dst int) CrossPost
+	minCross time.Duration
 }
 
 // New creates an empty network on the given scheduler.
 func New(sched *sim.Scheduler) *Network {
 	return &Network{Sched: sched, nodes: make(map[string]Node)}
 }
+
+// NewPartitioned creates a network split across the given domain
+// schedulers. assign maps a node name to its domain (it must be total
+// over the names the builder uses and pure — Connect calls it per
+// endpoint); cross returns the boundary for src→dst handoffs, normally
+// (*par.Engine).Boundary. Cross-partition links must have a positive
+// Delay: it is the causality bound the epoch barrier relies on, and
+// Connect panics on a zero-delay cut.
+func NewPartitioned(scheds []*sim.Scheduler, assign func(name string) int, cross func(src, dst int) CrossPost) *Network {
+	if len(scheds) == 0 {
+		panic("netem: partitioned network needs at least one scheduler")
+	}
+	return &Network{
+		nodes:  make(map[string]Node),
+		scheds: scheds,
+		assign: assign,
+		cross:  cross,
+	}
+}
+
+// Partitioned reports whether the network was built with NewPartitioned.
+func (n *Network) Partitioned() bool { return n.scheds != nil }
+
+// DomainOf returns the partition a node name is assigned to (0 for a
+// serial network).
+func (n *Network) DomainOf(name string) int {
+	if n.scheds == nil {
+		return 0
+	}
+	d := n.assign(name)
+	if d < 0 || d >= len(n.scheds) {
+		panic(fmt.Sprintf("netem: node %q assigned to domain %d of %d", name, d, len(n.scheds)))
+	}
+	return d
+}
+
+// SchedulerFor returns the scheduler a node with the given name must be
+// built on: the domain's scheduler in a partitioned network, Sched
+// otherwise.
+func (n *Network) SchedulerFor(name string) *sim.Scheduler {
+	if n.scheds == nil {
+		return n.Sched
+	}
+	return n.scheds[n.DomainOf(name)]
+}
+
+// MinCrossDelay returns the smallest propagation delay over all
+// cross-partition links created so far — the engine's lookahead bound.
+// It is zero when no link crosses a partition.
+func (n *Network) MinCrossDelay() time.Duration { return n.minCross }
 
 // Add registers a node. It panics on duplicate names — a topology bug.
 func (n *Network) Add(node Node) {
@@ -100,7 +161,22 @@ func (n *Network) Links() []*Link { return n.links }
 // and binds both ends.
 func (n *Network) Connect(a Node, aPort int, b Node, bPort int, cfg LinkConfig) *Link {
 	name := fmt.Sprintf("%s:%d<->%s:%d", a.Name(), aPort, b.Name(), bPort)
-	l := NewLink(n.Sched, name, cfg)
+	l := NewLink(n.SchedulerFor(a.Name()), name, cfg)
+	if n.scheds != nil {
+		da, db := n.DomainOf(a.Name()), n.DomainOf(b.Name())
+		l.scheds[0] = n.scheds[da]
+		l.scheds[1] = n.scheds[db]
+		if da != db {
+			if cfg.Delay <= 0 {
+				panic(fmt.Sprintf("netem: cross-partition link %s has zero delay; no lookahead bound", name))
+			}
+			l.cross[0] = n.cross(da, db)
+			l.cross[1] = n.cross(db, da)
+			if n.minCross == 0 || cfg.Delay < n.minCross {
+				n.minCross = cfg.Delay
+			}
+		}
+	}
 	l.Attach(0, a, aPort)
 	l.Attach(1, b, bPort)
 	a.Ports().Bind(aPort, l, 0)

@@ -1,0 +1,23 @@
+package sim
+
+import "time"
+
+// Runner drives a simulation to a point in virtual time. Both the serial
+// Scheduler and the partitioned engine (internal/sim/par) implement it,
+// so experiment drivers advance a testbed without caring how many
+// schedulers sit underneath.
+type Runner interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// RunFor advances the simulation by d.
+	RunFor(d time.Duration)
+	// RunUntil executes events with deadlines <= t, then advances the
+	// clock to exactly t.
+	RunUntil(t time.Duration)
+	// Executed returns the total number of events fired so far.
+	Executed() uint64
+	// Live returns the number of events still scheduled to fire.
+	Live() int
+}
+
+var _ Runner = (*Scheduler)(nil)

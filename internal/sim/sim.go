@@ -35,7 +35,7 @@ type Scheduler struct {
 	seq uint64
 
 	// heap is a 4-ary min-heap over inline nodes ordered by (deadline,
-	// insertion sequence), which yields deterministic FIFO semantics for
+	// band, key), which yields deterministic FIFO semantics for
 	// simultaneous events. Nodes reference event records by arena index.
 	heap []heapNode
 	// recs is the event arena; free lists recycled indices. A record is
@@ -47,19 +47,39 @@ type Scheduler struct {
 	// executed counts events that have fired; useful for progress
 	// reporting and runaway detection in tests.
 	executed uint64
+	// live counts scheduled-but-not-yet-fired events, excluding
+	// lazily-cancelled ones still parked in the heap (see Live).
+	live int
 }
 
+// heapNode orders events by (at, band, key):
+//
+//   - Ordinary events carry band 0 and key = the scheduler's insertion
+//     sequence: FIFO among simultaneous locals.
+//   - Channel events (AtCallChan) carry band = channel id + 1 and key =
+//     the caller's per-channel sequence. They sort after every ordinary
+//     event at the same instant, and among themselves by (channel, seq) —
+//     an order that is a pure function of the event's origin, not of when
+//     this scheduler learned about it. That property is what makes a
+//     partitioned run (internal/sim/par) bit-identical to a serial one:
+//     a cross-partition delivery injected at an epoch barrier lands in
+//     exactly the position it would have occupied had it been scheduled
+//     the moment it was sent.
 type heapNode struct {
-	at  time.Duration
-	seq uint64
-	rec int32
+	at   time.Duration
+	key  uint64
+	band uint32
+	rec  int32
 }
 
 func nodeLess(a, b heapNode) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	if a.band != b.band {
+		return a.band < b.band
+	}
+	return a.key < b.key
 }
 
 // CallFunc is the argument-carrying form of an event callback, used by
@@ -99,9 +119,19 @@ func (s *Scheduler) Executed() uint64 {
 }
 
 // Pending returns the number of events currently scheduled (including
-// cancelled events not yet removed from the queue).
+// cancelled events not yet removed from the queue). For progress or
+// idleness decisions use Live, which ignores the cancelled residue.
 func (s *Scheduler) Pending() int {
 	return len(s.heap)
+}
+
+// Live returns the number of events that are scheduled and will actually
+// fire: cancelled-but-not-yet-popped events (Timer.Stop is lazy) are
+// excluded. Live()==0 means running the scheduler would execute nothing —
+// the idle test Pending cannot provide, since phantom cancelled events
+// keep Pending nonzero indefinitely.
+func (s *Scheduler) Live() int {
+	return s.live
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
@@ -111,7 +141,7 @@ func (s *Scheduler) Pending() int {
 func (s *Scheduler) At(t time.Duration, fn func()) Timer {
 	idx, rec := s.allocRec()
 	rec.fn = fn
-	return s.arm(t, idx, rec)
+	return s.arm(t, 0, s.nextSeq(), idx, rec)
 }
 
 // AtCall schedules fn(a0, a1, n) at absolute virtual time t without
@@ -126,7 +156,28 @@ func (s *Scheduler) AtCall(t time.Duration, fn CallFunc, a0, a1 any, n int) Time
 	rec.a0 = a0
 	rec.a1 = a1
 	rec.n = n
-	return s.arm(t, idx, rec)
+	return s.arm(t, 0, s.nextSeq(), idx, rec)
+}
+
+// AtCallChan schedules fn(a0, a1, n) at absolute virtual time t on a
+// delivery channel: at equal deadlines the event sorts after every
+// ordinary event and among channel events by (ch, seq). The caller owns
+// the (ch, seq) numbering and must keep it unique per (deadline, ch);
+// netem assigns ch per link direction and seq from a per-direction
+// counter. Because the ordering key travels with the event instead of
+// being assigned at insertion, a partitioned engine can inject the event
+// late (at an epoch barrier) without perturbing execution order — the
+// foundation of the serial/parallel bit-identity guarantee.
+func (s *Scheduler) AtCallChan(t time.Duration, ch, seq uint64, fn CallFunc, a0, a1 any, n int) Timer {
+	if ch >= ^uint64(0)>>1 || ch+1 > 1<<32-1 {
+		panic("sim: channel id out of range")
+	}
+	idx, rec := s.allocRec()
+	rec.call = fn
+	rec.a0 = a0
+	rec.a1 = a1
+	rec.n = n
+	return s.arm(t, uint32(ch+1), seq, idx, rec)
 }
 
 func (s *Scheduler) allocRec() (int32, *eventRec) {
@@ -141,13 +192,19 @@ func (s *Scheduler) allocRec() (int32, *eventRec) {
 	return idx, &s.recs[idx]
 }
 
-func (s *Scheduler) arm(t time.Duration, idx int32, rec *eventRec) Timer {
+func (s *Scheduler) nextSeq() uint64 {
+	seq := s.seq
+	s.seq++
+	return seq
+}
+
+func (s *Scheduler) arm(t time.Duration, band uint32, key uint64, idx int32, rec *eventRec) Timer {
 	if t < s.now {
 		t = s.now
 	}
 	rec.cancelled = false
-	s.push(heapNode{at: t, seq: s.seq, rec: idx})
-	s.seq++
+	s.push(heapNode{at: t, band: band, key: key, rec: idx})
+	s.live++
 	return Timer{s: s, at: t, idx: idx, gen: rec.gen}
 }
 
@@ -174,6 +231,7 @@ func (s *Scheduler) Step() bool {
 		if cancelled {
 			continue
 		}
+		s.live--
 		s.now = node.at
 		s.executed++
 		if fn != nil {
@@ -210,6 +268,31 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 // RunFor advances the simulation by d from the current virtual time.
 func (s *Scheduler) RunFor(d time.Duration) {
 	s.RunUntil(s.now + d)
+}
+
+// RunBefore executes events with deadlines strictly < t, then advances
+// the clock to exactly t. It is RunUntil's half-open sibling, used by the
+// partitioned engine to run an epoch [now, t) whose right boundary
+// belongs to the next epoch (cross-partition handoffs can land exactly on
+// a barrier, so events *at* a barrier must wait for injection).
+func (s *Scheduler) RunBefore(t time.Duration) {
+	for {
+		at, ok := s.peekDeadline()
+		if !ok || at >= t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// PeekDeadline returns the deadline of the earliest event that will
+// actually fire, lazily discarding cancelled events. ok is false when
+// nothing live is scheduled.
+func (s *Scheduler) PeekDeadline() (at time.Duration, ok bool) {
+	return s.peekDeadline()
 }
 
 // peekDeadline returns the deadline of the earliest live event, discarding
@@ -317,6 +400,7 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	rec.cancelled = true
+	t.s.live--
 	return true
 }
 

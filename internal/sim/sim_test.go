@@ -228,3 +228,94 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 	s.Run()
 }
+
+func TestLiveCounter(t *testing.T) {
+	s := NewScheduler()
+	t1 := s.After(time.Millisecond, func() {})
+	t2 := s.After(2*time.Millisecond, func() {})
+	s.After(3*time.Millisecond, func() {})
+	if s.Live() != 3 {
+		t.Fatalf("Live() = %d, want 3", s.Live())
+	}
+	t1.Stop()
+	if s.Live() != 2 {
+		t.Fatalf("Live() after Stop = %d, want 2", s.Live())
+	}
+	// The cancelled node is still heap residue: Pending overcounts, Live
+	// does not.
+	if s.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3 (lazy cancellation)", s.Pending())
+	}
+	s.RunUntil(2 * time.Millisecond)
+	if s.Live() != 1 {
+		t.Fatalf("Live() mid-run = %d, want 1", s.Live())
+	}
+	t2.Stop() // already fired: must not double-decrement
+	if s.Live() != 1 {
+		t.Fatalf("Live() after post-fire Stop = %d, want 1", s.Live())
+	}
+	s.Run()
+	if s.Live() != 0 {
+		t.Fatalf("Live() after drain = %d, want 0", s.Live())
+	}
+}
+
+func TestRunBeforeHalfOpen(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(time.Millisecond, func() { got = append(got, 1) })
+	s.At(2*time.Millisecond, func() { got = append(got, 2) })
+	s.RunBefore(2 * time.Millisecond)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RunBefore executed %v, want only the 1ms event", got)
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("Now() = %v, want clock advanced to the bound", s.Now())
+	}
+	s.RunUntil(2 * time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("boundary event lost: got %v", got)
+	}
+}
+
+func TestChannelEventOrdering(t *testing.T) {
+	// At one deadline: ordinary (band-0) events first in insertion
+	// order, then channel events by (channel, sequence) regardless of
+	// insertion order — the invariant the parallel engine's bit-identity
+	// rests on.
+	s := NewScheduler()
+	var got []string
+	rec := func(tag string) CallFunc {
+		return func(any, any, int) { got = append(got, tag) }
+	}
+	at := time.Millisecond
+	s.AtCallChan(at, 7, 1, rec("ch7.1"), nil, nil, 0)
+	s.AtCallChan(at, 3, 5, rec("ch3.5"), nil, nil, 0)
+	s.At(at, func() { got = append(got, "plain0") })
+	s.AtCallChan(at, 3, 2, rec("ch3.2"), nil, nil, 0)
+	s.At(at, func() { got = append(got, "plain1") })
+	s.Run()
+	want := []string{"plain0", "plain1", "ch3.2", "ch3.5", "ch7.1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie-break order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPeekDeadline(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.PeekDeadline(); ok {
+		t.Fatal("PeekDeadline on empty scheduler reported an event")
+	}
+	tm := s.After(time.Millisecond, func() {})
+	s.After(2*time.Millisecond, func() {})
+	tm.Stop()
+	at, ok := s.PeekDeadline()
+	if !ok || at != 2*time.Millisecond {
+		t.Fatalf("PeekDeadline = %v,%v; want 2ms (cancelled head skipped)", at, ok)
+	}
+}

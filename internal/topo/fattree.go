@@ -73,7 +73,7 @@ func BuildFatTree(net *netem.Network, p FatTreeParams) *FatTree {
 	}
 	half := k / 2
 	newSwitch := func(name string, dpid uint64) *switching.Switch {
-		sw := switching.New(net.Sched, switching.Config{
+		sw := switching.New(net.SchedulerFor(name), switching.Config{
 			Name:       name,
 			DatapathID: dpid,
 			ProcDelay:  p.SwitchProcDelay,

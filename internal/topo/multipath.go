@@ -82,8 +82,8 @@ func BuildMultipath(net *netem.Network, p MultipathParams) *Multipath {
 	leftCfg.Paths, rightCfg.Paths = p.Paths, p.Paths
 
 	m := &Multipath{
-		Left:  core.NewVirtualEdge(net.Sched, leftCfg),
-		Right: core.NewVirtualEdge(net.Sched, rightCfg),
+		Left:  core.NewVirtualEdge(net.SchedulerFor(leftCfg.Name), leftCfg),
+		Right: core.NewVirtualEdge(net.SchedulerFor(rightCfg.Name), rightCfg),
 	}
 	net.Add(m.Left)
 	net.Add(m.Right)
@@ -92,8 +92,9 @@ func BuildMultipath(net *netem.Network, p MultipathParams) *Multipath {
 	for i := 0; i < p.Paths; i++ {
 		var path []*switching.Switch
 		for h := 0; h < p.HopsPerPath; h++ {
-			sw := switching.New(net.Sched, switching.Config{
-				Name:       fmt.Sprintf("p%d-%s%d", i, vendors[(i+h)%len(vendors)], h),
+			name := fmt.Sprintf("p%d-%s%d", i, vendors[(i+h)%len(vendors)], h)
+			sw := switching.New(net.SchedulerFor(name), switching.Config{
+				Name:       name,
 				DatapathID: uint64(1000 + i*16 + h),
 				ProcDelay:  p.SwitchProcDelay,
 				ProcQueue:  p.SwitchProcQueue,

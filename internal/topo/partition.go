@@ -1,0 +1,91 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Partition assignment for the parallel engine (internal/sim/par).
+//
+// Every scheme follows one rule: nodes that share mutable state through
+// direct method calls — a combiner's edges, routers and compare (the
+// compare blocks edge ports synchronously), or a virtual edge and its
+// embedded engine — form one *unit* and must land in the same domain.
+// Units only ever talk to other units through netem links, whose
+// propagation delay is the lookahead bound. Units are folded onto the
+// requested domain count round-robin, so any domain count from 1 to the
+// unit count is valid and produces the same simulation (bit-identical —
+// see the par package doc).
+
+// TestbedAssign partitions the Fig. 3 testbed: the whole combiner is
+// unit 0, h1 unit 1, h2 unit 2. Useful domain counts are 1..3.
+func TestbedAssign(domains int) func(name string) int {
+	return func(name string) int {
+		u := 0
+		switch name {
+		case "h1":
+			u = 1
+		case "h2":
+			u = 2
+		}
+		return u % domains
+	}
+}
+
+// FatTreeAssign partitions a k-ary fat tree: pod p is unit p, core c is
+// unit k + c/(k/2) (one unit per core group), so there are k + k/2
+// units. Any extra node must embed its pod in its name ("pod3-h0");
+// unknown names panic rather than silently serialise.
+func FatTreeAssign(arity, domains int) func(name string) int {
+	half := arity / 2
+	return func(name string) int {
+		var u int
+		switch {
+		case strings.HasPrefix(name, "pod"):
+			rest := name[len("pod"):]
+			end := 0
+			for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+				end++
+			}
+			n, err := strconv.Atoi(rest[:end])
+			if err != nil {
+				panic(fmt.Sprintf("topo: cannot parse pod index in node name %q", name))
+			}
+			u = n
+		case strings.HasPrefix(name, "core"):
+			c, err := strconv.Atoi(name[len("core"):])
+			if err != nil {
+				panic(fmt.Sprintf("topo: cannot parse core index in node name %q", name))
+			}
+			u = arity + c/half
+		default:
+			panic(fmt.Sprintf("topo: node %q has no fat-tree partition (name it pod<p>-...)", name))
+		}
+		return u % domains
+	}
+}
+
+// MultipathAssign partitions the §VII network: vleft is unit 0, vright
+// unit 1, path i unit 2+i. The end hosts ride with their edges (h1 with
+// vleft, h2 with vright). Useful domain counts are 1..2+paths.
+func MultipathAssign(domains int) func(name string) int {
+	return func(name string) int {
+		var u int
+		switch {
+		case name == "vleft" || name == "h1":
+			u = 0
+		case name == "vright" || name == "h2":
+			u = 1
+		case strings.HasPrefix(name, "p") && strings.Contains(name, "-"):
+			i, err := strconv.Atoi(name[1:strings.Index(name, "-")])
+			if err != nil {
+				panic(fmt.Sprintf("topo: cannot parse path index in node name %q", name))
+			}
+			u = 2 + i
+		default:
+			panic(fmt.Sprintf("topo: node %q has no multipath partition", name))
+		}
+		return u % domains
+	}
+}

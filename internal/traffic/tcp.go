@@ -106,16 +106,30 @@ type TCPFlow struct {
 	receiver *tcpReceiver
 }
 
-// StartTCPFlow wires a bulk flow from one host to another and starts
-// sending immediately. srcPort/dstPort identify the flow's 4-tuple.
-func StartTCPFlow(from, to *Host, srcPort, dstPort uint16, cfg TCPConfig) *TCPFlow {
+// NewTCPFlow wires a bulk flow between two hosts without sending
+// anything yet: both endpoints' handlers are registered immediately, and
+// Start launches the transfer. Separating construction from start lets a
+// partitioned simulation register the two endpoints during single-
+// threaded setup — Start then runs entirely on the sender's scheduler,
+// so from and to may live in different partition domains.
+func NewTCPFlow(from, to *Host, srcPort, dstPort uint16, cfg TCPConfig) *TCPFlow {
 	cfg = cfg.withDefaults()
 	f := &TCPFlow{}
 	f.receiver = newTCPReceiver(to, to.Endpoint(dstPort), from.Endpoint(srcPort), cfg)
 	f.sender = newTCPSender(from, from.Endpoint(srcPort), to.Endpoint(dstPort), cfg)
 	to.HandleTCP(dstPort, f.receiver.onSegment)
 	from.HandleTCP(srcPort, f.sender.onAck)
-	f.sender.sendData()
+	return f
+}
+
+// Start begins the transfer (first transmission burst).
+func (f *TCPFlow) Start() { f.sender.sendData() }
+
+// StartTCPFlow wires a bulk flow from one host to another and starts
+// sending immediately. srcPort/dstPort identify the flow's 4-tuple.
+func StartTCPFlow(from, to *Host, srcPort, dstPort uint16, cfg TCPConfig) *TCPFlow {
+	f := NewTCPFlow(from, to, srcPort, dstPort, cfg)
+	f.Start()
 	return f
 }
 
@@ -147,6 +161,9 @@ type tcpSender struct {
 	dst   packet.Endpoint
 
 	sndUna, sndNxt uint32
+	// maxSndNxt is the transmission high-water mark: after an RTO rewinds
+	// sndNxt (go-back-N), sends below it are retransmissions.
+	maxSndNxt      uint32
 	cwnd, ssthresh float64
 	dupAcks        int
 	inRecovery     bool
@@ -217,9 +234,13 @@ func (s *tcpSender) sendData() {
 			}
 			break
 		}
-		s.transmit(s.sndNxt, false)
+		retx := s.sndNxt < s.maxSndNxt
+		s.transmit(s.sndNxt, retx)
 		s.sndNxt += uint32(s.cfg.MSS)
-		s.stats.SegmentsSent++
+		if !retx {
+			s.stats.SegmentsSent++
+			s.maxSndNxt = s.sndNxt
+		}
 		if s.hasSRTT {
 			interval := time.Duration(float64(s.srtt) * float64(s.cfg.MSS) / (2 * s.cwnd))
 			base := now
@@ -266,7 +287,14 @@ func (s *tcpSender) onRTO() {
 	s.inRecovery = false
 	s.dupAcks = 0
 	s.rttPending = false
+	// Go back N, as BSD TCP does on timeout: everything past sndUna is
+	// presumed lost and becomes eligible for retransmission as the window
+	// reopens. Without the rewind a multi-segment tail loss (say, a link
+	// outage) lingers as phantom flight that blocks new data, and the
+	// flow crawls back one segment per doubled RTO.
+	s.sndNxt = s.sndUna
 	s.transmit(s.sndUna, true)
+	s.sndNxt += uint32(s.cfg.MSS)
 	s.rto *= 2
 	if s.rto > time.Minute {
 		s.rto = time.Minute
@@ -280,8 +308,11 @@ func (s *tcpSender) onAck(pkt *packet.Packet) {
 		return
 	}
 	ack := pkt.TCP.Ack
+	// The acceptable upper bound is the high-water mark, not sndNxt:
+	// after a go-back-N rewind the receiver may cumulatively acknowledge
+	// data sent before the timeout, above the rewound sndNxt.
 	switch {
-	case ack > s.sndUna && ack <= s.sndNxt:
+	case ack > s.sndUna && ack <= s.maxSndNxt:
 		s.onNewAck(ack)
 	case ack == s.sndUna && s.sndNxt > s.sndUna:
 		s.onDupAck()
@@ -295,6 +326,9 @@ func (s *tcpSender) onNewAck(ack uint32) {
 	}
 	acked := float64(ack - s.sndUna)
 	s.sndUna = ack
+	if s.sndNxt < ack {
+		s.sndNxt = ack // the ACK leapfrogged a go-back-N rewind
+	}
 	s.stats.BytesAcked += uint64(acked)
 
 	mss := float64(s.cfg.MSS)
