@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench bench-flows bench-scale sweep-smoke fuzz fuzz-smoke
+.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid sweep-smoke hybrid-smoke fuzz fuzz-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
 # the race detector (with scratch poisoning on, so retained engine events
 # fail loudly), the allocation-guard benchmarks (one iteration each —
 # they exist to run the b.ReportAllocs paths and the AllocsPerRun guards
 # embedded in the test run, not to produce stable timings), an
-# end-to-end parallel sweep smoke run, and the scenario-fuzzer smoke.
-check: vet build race bench-guard sweep-smoke fuzz-smoke
+# end-to-end parallel sweep smoke run, the hybrid-engine digest-stability
+# smoke, and the scenario-fuzzer smoke.
+check: vet build race bench-guard sweep-smoke hybrid-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +42,20 @@ sweep-smoke:
 		-seeds 1:2 -workers 1 -partitions 4 -json /tmp/netco-sweep-smoke-p4.json > /dev/null
 	cmp /tmp/netco-sweep-smoke-w1.json /tmp/netco-sweep-smoke-p4.json
 	@echo "sweep-smoke: artifacts byte-identical across worker and partition counts"
+
+# hybrid-smoke is the hybrid engine's CLI determinism leg: the same
+# quick hybrid grid (2 seeds) through netco-sweep at -workers 1 and 4
+# must produce byte-identical JSON artifacts — runs, merged summaries
+# and merged histogram sketches included. The hybrid engine itself is
+# serial (one scheduler per run; -partitions is a documented no-op for
+# it), so workers only reorder completion, never results.
+hybrid-smoke:
+	$(GO) run ./cmd/netco-sweep -quick -kinds hybrid -scenarios Central3 \
+		-seeds 1:2 -workers 4 -json /tmp/netco-hybrid-smoke-w4.json
+	$(GO) run ./cmd/netco-sweep -quick -kinds hybrid -scenarios Central3 \
+		-seeds 1:2 -workers 1 -json /tmp/netco-hybrid-smoke-w1.json > /dev/null
+	cmp /tmp/netco-hybrid-smoke-w1.json /tmp/netco-hybrid-smoke-w4.json
+	@echo "hybrid-smoke: hybrid digests and histograms byte-identical across worker counts"
 
 # fuzz-smoke is the scenario fuzzer's pre-merge budget: 200 randomized
 # Byzantine scenarios through all four invariant oracles (masking,
@@ -78,6 +93,14 @@ bench:
 # serial run at every count (the bench exits nonzero on divergence).
 bench-scale:
 	$(GO) run ./cmd/netco-bench -scale
+
+# bench-hybrid reproduces the hybrid-engine numbers recorded in
+# BENCH_6.json: a 30-ary fluid fat tree (1125 switches, 101250 max-min
+# fair rate-process flows) with 8 monitored flows expanded to real
+# datagrams through the packet-exact k=3 combiner region. The bench
+# runs the scenario twice and exits nonzero if the digests diverge.
+bench-hybrid:
+	$(GO) run ./cmd/netco-bench -hybrid
 
 # bench-flows reproduces the classifier numbers recorded in BENCH_3.json:
 # two-tier lookup vs the seed's linear scan at 8/64/512 rules, plus the

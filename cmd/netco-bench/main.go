@@ -52,6 +52,7 @@ func run() error {
 		ksweep = flag.Bool("ksweep", false, "extension: redundancy sweep k=1..7 (Central)")
 		dos    = flag.Bool("dos", false, "extension: DoS attacks vs the §IV defences")
 		scale  = flag.Bool("scale", false, "extension: parallel-engine scaling benchmark (fat-tree cross-pod UDP, partition sweep; BENCH_5.json)")
+		hybrid = flag.Bool("hybrid", false, "extension: hybrid fluid/packet traffic engine (1k-switch fluid fat tree, 100k+ flows, packet-exact combiner region; BENCH_6.json)")
 		all    = flag.Bool("all", false, "reproduce everything")
 		full   = flag.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
 		quick  = flag.Bool("quick", false, "smoke-test durations")
@@ -82,7 +83,7 @@ func run() error {
 	// section.scenario.quantity, for the -json report.
 	metrics := map[string]float64{}
 
-	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *arch || *ksweep || *dos || *scale) {
+	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *arch || *ksweep || *dos || *scale || *hybrid) {
 		*all = true
 	}
 
@@ -271,6 +272,65 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	if *hybrid {
+		// BENCH_6 workload: a 30-ary fluid fat tree (1125 switches,
+		// 6750 hosts, 101250 flows) with 8 monitored flows expanded to
+		// real datagrams through the packet-exact combiner region. The
+		// 8×15 Mbit/s region load sits at ~46% of the compare stage's
+		// copy budget (k=3 × 15 µs per copy), so the region stays
+		// line-rate while the fabric is pure rate processes.
+		hp := netco.DefaultHybridParams()
+		hp.Arity = 30
+		hp.FlowsPerHost = 15
+		hp.FlowDemand = 15e6
+		hp.CrossFlows = 8
+		hp.Duration = time.Second
+		hp.Epoch = 10 * time.Millisecond
+		hp.SwapAt = 500 * time.Millisecond
+		if *quick {
+			hp = netco.DefaultHybridParams()
+		}
+		fmt.Printf("== Extension: hybrid fluid/packet engine (%d-ary fat tree) ==\n", hp.Arity)
+		wall := time.Now()
+		r := netco.RunHybrid(p, hp)
+		secs := time.Since(wall).Seconds()
+		r2 := netco.RunHybrid(p, hp)
+		if r2.Digest != r.Digest {
+			return fmt.Errorf("hybrid: digest diverged across identical runs")
+		}
+		fmt.Printf("  %d switches, %d hosts, %d flows (%d through the compare region), region ball %d nodes\n",
+			r.Switches, r.Hosts, r.Flows, r.CrossFlows, r.RegionNodes)
+		fmt.Printf("  %d events, %d settles, %d promotions / %d demotions in %.2fs wall\n",
+			r.Events, r.Settles, r.Promotions, r.Demotions, secs)
+		fmt.Printf("  fluid goodput %.1f Mbit/s aggregate; projected pure-packet events %.2e → ratio %.0fx\n",
+			r.FluidDeliveredBits/hp.Duration.Seconds()/1e6, r.ProjectedPacketEvents, r.EventRatio)
+		fmt.Println("  digest bit-identical across repeated runs")
+		metrics["hybrid.arity"] = float64(r.Arity)
+		metrics["hybrid.switches"] = float64(r.Switches)
+		metrics["hybrid.hosts"] = float64(r.Hosts)
+		metrics["hybrid.flows"] = float64(r.Flows)
+		metrics["hybrid.cross_flows"] = float64(r.CrossFlows)
+		metrics["hybrid.region_nodes"] = float64(r.RegionNodes)
+		metrics["hybrid.events"] = float64(r.Events)
+		metrics["hybrid.settles"] = float64(r.Settles)
+		metrics["hybrid.promotions"] = float64(r.Promotions)
+		metrics["hybrid.demotions"] = float64(r.Demotions)
+		metrics["hybrid.fluid_goodput_mbps"] = r.FluidDeliveredBits / hp.Duration.Seconds() / 1e6
+		metrics["hybrid.projected_packet_events"] = r.ProjectedPacketEvents
+		metrics["hybrid.event_ratio"] = r.EventRatio
+		metrics["hybrid.wall_s"] = secs
+		rows := [][]string{
+			{"switches", "hosts", "flows", "cross_flows", "events", "settles", "event_ratio", "wall_s"},
+			{strconv.Itoa(r.Switches), strconv.Itoa(r.Hosts), strconv.Itoa(r.Flows),
+				strconv.Itoa(r.CrossFlows), strconv.FormatUint(r.Events, 10),
+				strconv.FormatUint(r.Settles, 10), fmt.Sprintf("%.1f", r.EventRatio),
+				fmt.Sprintf("%.3f", secs)},
+		}
+		if err := writeCSV(*csvDir, "hybrid.csv", rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
 	if *all || *table1 {
 		fmt.Println("== Table I: average measurement results (measured vs paper) ==")
 		rows := parallelMap(workers, netco.TableScenarios, func(s netco.Scenario) netco.Table1Row {
@@ -366,13 +426,17 @@ func eventRate(p netco.Params) (float64, netmetrics.ClassifierStats) {
 }
 
 // writeJSON dumps the headline metrics of the run in a stable,
-// machine-readable form (keys sorted by encoding/json).
+// machine-readable form (keys sorted by encoding/json), stamped with
+// the machine's CPU provenance so perf numbers in BENCH_*.json are
+// interpretable after the fact.
 func writeJSON(path string, seed int64, elapsed time.Duration, metrics map[string]float64) error {
 	report := struct {
-		Seed      int64              `json:"seed"`
-		ElapsedMS float64            `json:"elapsed_ms"`
-		Metrics   map[string]float64 `json:"metrics"`
-	}{seed, float64(elapsed.Milliseconds()), metrics}
+		Seed       int64              `json:"seed"`
+		ElapsedMS  float64            `json:"elapsed_ms"`
+		NumCPU     int                `json:"num_cpu"`
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}{seed, float64(elapsed.Milliseconds()), runtime.NumCPU(), runtime.GOMAXPROCS(0), metrics}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

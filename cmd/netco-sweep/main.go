@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netco-sweep [-kinds tcp,udp,ping,jitter] [-scenarios all|name,...]
+//	netco-sweep [-kinds tcp,udp,ping,jitter,hybrid] [-scenarios all|name,...]
 //	            [-seeds 1,2,3 | -seeds 1:10] [-trunk-mbps 250,500,1000]
 //	            [-workers n] [-partitions n] [-json f] [-quick] [-full]
 //
@@ -20,6 +20,15 @@
 // internal/sim/par). For large grids prefer -workers — per-run
 // isolation scales embarrassingly — and reserve -partitions for grids
 // of a few big runs.
+//
+// The hybrid kind is serial by construction (its fluid allocator and
+// packet-exact region share one scheduler), so -partitions is a no-op
+// for hybrid runs: they execute unchanged and still parallelise across
+// the grid via -workers, with bit-identical artifacts either way.
+// Hybrid runs attach histogram sketches (flow_rate_mbps,
+// flow_goodput_mbps, region_wire_bytes, region_gap_us) to each result;
+// the report folds them per group into merged_hists in the JSON
+// artifact and the console summary.
 package main
 
 import (
@@ -54,7 +63,7 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("netco-sweep", flag.ContinueOnError)
 	var (
-		kindsFlag = fs.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter)")
+		kindsFlag = fs.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter,hybrid)")
 		scenFlag  = fs.String("scenarios", "Linespeed,Central3", `scenarios, comma-separated, or "all"`)
 		seedsFlag = fs.String("seeds", "1", `seed list "1,2,3" or range "1:10" (inclusive)`)
 		trunkFlag = fs.String("trunk-mbps", "", "optional trunk-rate grid in Mbit/s (one variant per value)")
@@ -151,12 +160,26 @@ func printReport(w io.Writer, rep runner.Report) {
 		fmt.Fprintf(w, "  %-36s n=%-3d mean=%.3f min=%.3f max=%.3f std=%.3f\n",
 			k, s.N(), s.Mean(), s.Min(), s.Max(), s.Std())
 	}
+	if len(rep.MergedHists) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "merged hists:")
+	keys = keys[:0]
+	for k := range rep.MergedHists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := rep.MergedHists[k]
+		fmt.Fprintf(w, "  %-36s n=%-6d p50=%.3f p95=%.3f max=%.3f\n",
+			k, h.N(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+	}
 }
 
 // headline picks the run's most informative scalars for the console.
 func headline(m map[string]float64) string {
 	var parts []string
-	for _, key := range []string{"tcp_mbps", "udp_mbps", "udp_loss", "rtt_avg_ms", "jitter_us_128B", "jitter_us_1470B"} {
+	for _, key := range []string{"tcp_mbps", "udp_mbps", "udp_loss", "rtt_avg_ms", "jitter_us_128B", "jitter_us_1470B", "fluid_goodput_mbps", "hybrid_event_ratio"} {
 		if v, ok := m[key]; ok {
 			parts = append(parts, fmt.Sprintf("%s=%.3f", key, v))
 		}

@@ -21,6 +21,9 @@ type sweepReport struct {
 			Metrics map[string]float64 `json:"metrics"`
 		} `json:"result"`
 	} `json:"runs"`
+	MergedHists map[string]struct {
+		N uint64 `json:"n"`
+	} `json:"merged_hists"`
 	Failed int `json:"failed"`
 }
 
@@ -66,6 +69,53 @@ func TestRunJSONShape(t *testing.T) {
 		}
 		if _, ok := r.Result.Metrics["rtt_avg_ms"]; !ok {
 			t.Errorf("run %s seed=%d missing rtt_avg_ms: %v", r.Group, r.Seed, r.Result.Metrics)
+		}
+	}
+}
+
+// TestRunHybridSurfacesHists drives a quick hybrid sweep and checks the
+// histogram sketches reach both the console summary and the JSON
+// artifact's merged_hists map.
+func TestRunHybridSurfacesHists(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-kinds", "hybrid",
+		"-scenarios", "Central3",
+		"-seeds", "1",
+		"-workers", "1",
+		"-partitions", "2", // a documented no-op for the serial hybrid engine
+		"-quick",
+		"-json", jsonPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, "merged hists:") {
+		t.Errorf("missing merged hists section in output:\n%s", out)
+	}
+	if !strings.Contains(out, "hybrid/Central3.flow_rate_mbps") {
+		t.Errorf("hist key not surfaced on console:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sweepReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"hybrid/Central3.flow_rate_mbps",
+		"hybrid/Central3.flow_goodput_mbps",
+		"hybrid/Central3.region_wire_bytes",
+		"hybrid/Central3.region_gap_us",
+	} {
+		if h, ok := rep.MergedHists[key]; !ok || h.N == 0 {
+			t.Errorf("merged_hists[%q] missing or empty (ok=%v)", key, ok)
 		}
 	}
 }

@@ -1,0 +1,544 @@
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+
+	"netco/internal/core"
+	"netco/internal/metrics"
+	"netco/internal/netem"
+	"netco/internal/openflow"
+	"netco/internal/packet"
+	"netco/internal/sim"
+	"netco/internal/switching"
+	"netco/internal/topo"
+	"netco/internal/trace"
+	"netco/internal/traffic"
+)
+
+// The hybrid traffic engine couples two fidelity tiers in one serial
+// simulation:
+//
+//   - a fat-tree fabric whose flows are fluid rate processes (see
+//     internal/traffic's FluidNet): no per-packet events, just max-min
+//     fair allocations recomputed at epoch boundaries and pushed onto
+//     the links as aggregate load;
+//   - a packet-exact region — a NetCo combiner between two gateway
+//     hosts — where every frame, copy and compare decision is simulated
+//     exactly as in the paper's evaluation.
+//
+// A RegionMap (BFS ball around the compare node) decides each flow's
+// tier: flows whose route crosses the region are promoted — expanded
+// into real datagrams through the combiner via a UDP expander driven at
+// the flow's fluid allocation — and collapse back to pure rate
+// processes when they leave (Demote). Because the gateway/combiner
+// component shares no links with the fabric, the region's observable
+// behaviour (sink counters, alarms, compare stats) is a function of the
+// expander streams alone; a pure-packet rerun of the same scenario
+// (PacketFabric mode) reproduces it bit for bit while the fabric's
+// goodput stays within fluid-model tolerance. That is the fidelity
+// contract the differential test in hybrid_test.go enforces.
+//
+// The engine is serial by construction (one scheduler). Params.Workers
+// and Params.Partitions do not apply to it; netco-bench records them
+// for provenance only.
+
+// hybridPayload is the UDP payload size used by expanders and
+// packet-mode fabric sources (iperf's default datagram).
+const hybridPayload = 1470
+
+// HybridParams sizes one hybrid scenario.
+type HybridParams struct {
+	// Arity is the fat-tree k (even, ≥ 2). 30 gives the 1125-switch
+	// fabric of BENCH_6; tests use 4.
+	Arity int
+	// FlowsPerHost fans each fabric host out to that many cross-pod
+	// destinations.
+	FlowsPerHost int
+	// FlowDemand is each flow's offered load (bits/s).
+	FlowDemand float64
+	// CrossFlows is how many flows are monitored traffic steered through
+	// the combiner region (promoted from the start).
+	CrossFlows int
+	// Duration is the measurement window; flows start staggered across
+	// the first two allocation epochs and stop together at Duration.
+	Duration time.Duration
+	// Epoch is the fluid tier's reallocation quantum.
+	Epoch time.Duration
+	// RegionRadius is the packet-exact BFS radius around the compare.
+	RegionRadius int
+	// SwapAt, when positive, demotes half the crossing flows at that
+	// time (their traffic exits the region) and promotes an equal number
+	// of until-then fluid flows (entering it) — the live region-boundary
+	// transition exercise.
+	SwapAt time.Duration
+	// PacketFabric materialises every fabric flow as a real UDP
+	// packet stream (with proactive fat-tree routing) instead of a rate
+	// process — the pure-packet baseline of the differential fidelity
+	// test. Only sensible for small Arity.
+	PacketFabric bool
+	// StartWaves staggers flow starts across this many offsets inside
+	// the first two epochs (default 4), exercising the allocator's
+	// epoch coalescing.
+	StartWaves int
+}
+
+// DefaultHybridParams returns the small configuration used by the
+// KindHybrid sweep unit and the smoke tests.
+func DefaultHybridParams() HybridParams {
+	return HybridParams{
+		Arity:        4,
+		FlowsPerHost: 2,
+		FlowDemand:   2e6,
+		CrossFlows:   4,
+		Duration:     400 * time.Millisecond,
+		Epoch:        5 * time.Millisecond,
+		RegionRadius: 2,
+		SwapAt:       200 * time.Millisecond,
+		StartWaves:   4,
+	}
+}
+
+// HybridResult is one hybrid run's outcome.
+type HybridResult struct {
+	Arity       int `json:"arity"`
+	Hosts       int `json:"hosts"`
+	Switches    int `json:"switches"` // fabric switches (combiner excluded)
+	Flows       int `json:"flows"`
+	CrossFlows  int `json:"cross_flows"`
+	RegionNodes int `json:"region_nodes"`
+
+	Events     uint64 `json:"events"`
+	Settles    uint64 `json:"settles"`
+	Promotions uint64 `json:"promotions"`
+	Demotions  uint64 `json:"demotions"`
+
+	// FluidDeliveredBits totals every flow's delivered traffic
+	// (analytic accrual for fluid segments, measured sink bytes for
+	// promoted segments). BackgroundDeliveredBits is the subtotal of
+	// flows that never owned an expander — the apples-to-apples figure
+	// the differential fidelity test compares across modes (in
+	// PacketFabric mode it is measured at real packet sinks).
+	FluidDeliveredBits      float64 `json:"fluid_delivered_bits"`
+	BackgroundDeliveredBits float64 `json:"background_delivered_bits"`
+
+	// RegionDigest canonically summarises the packet-exact region's
+	// observable behaviour: per-expander sink counters, gateway stack
+	// counters, compare stats and alarm count. A hybrid run and its
+	// pure-packet baseline must produce equal RegionDigests.
+	RegionDigest string `json:"region_digest"`
+	// Digest extends RegionDigest with the fluid tier's outcome (per-
+	// flow delivered bits and rates, folded exactly) plus event and
+	// settle counts — the whole-run determinism witness.
+	Digest string `json:"digest"`
+
+	// ProjectedPacketEvents estimates what a pure-packet simulation of
+	// the same scenario would execute; EventRatio divides it by the
+	// events actually executed.
+	ProjectedPacketEvents float64 `json:"projected_packet_events"`
+	EventRatio            float64 `json:"event_ratio"`
+
+	// Hists carries the run's streaming aggregates (the per-packet
+	// trace replacement): flow_rate_mbps and flow_goodput_mbps from the
+	// fluid tier, region_wire_bytes and region_gap_us folded live off
+	// the combiner routers' transmissions by a trace.Aggregator.
+	Hists map[string]metrics.Hist `json:"hists,omitempty"`
+}
+
+type hybridFlow struct {
+	idx      int
+	srcG     int
+	dstG     int
+	fluid    *traffic.FluidFlow
+	exp      *traffic.UDPExpander // non-nil iff the flow can be promoted
+	route    []string
+	crossing bool
+	startAt  time.Duration
+}
+
+// RunHybrid builds and runs one hybrid scenario. It is a pure function
+// of its inputs like the other experiment units, but always serial.
+func RunHybrid(p Params, hp HybridParams) HybridResult {
+	if hp.Arity < 2 || hp.Arity%2 != 0 {
+		panic(fmt.Sprintf("experiment: hybrid arity %d must be even and >= 2", hp.Arity))
+	}
+	if hp.StartWaves <= 0 {
+		hp.StartWaves = 4
+	}
+	if hp.Epoch <= 0 {
+		hp.Epoch = 10 * time.Millisecond
+	}
+
+	sched := sim.NewScheduler()
+	nw := netem.New(sched)
+
+	// Packet-exact region first: a Central combiner between two gateway
+	// hosts. Building it before the fabric keeps its links' creation
+	// order — and therefore same-instant event ordering — independent
+	// of fabric size and mode.
+	gw0 := traffic.NewHost(sched, "gw0", packet.HostMAC(1<<20), packet.HostIP(1<<20), hostCfgOf(p))
+	gw1 := traffic.NewHost(sched, "gw1", packet.HostMAC(1<<20+1), packet.HostIP(1<<20+1), hostCfgOf(p))
+	nw.Add(gw0)
+	nw.Add(gw1)
+	comb := core.Build(nw, core.CombinerSpec{
+		K:             3,
+		Mode:          core.CombinerCentral,
+		Compare:       p.TestbedParams(ScenCentral3, nil).Compare,
+		EdgeProcDelay: p.EdgeProc,
+		EdgeProcQueue: p.EdgeQueue,
+		RouterLink:    p.TrunkLink(),
+		CompareLink:   netem.LinkConfig{Bandwidth: p.HostLinkRate, Delay: p.PropDelay, QueueLimit: 4 * p.QueueLimit},
+	}, func(i int) *switching.Switch {
+		return switching.New(sched, switching.Config{
+			Name:       fmt.Sprintf("r%d", i),
+			DatapathID: uint64(100 + i),
+			ProcDelay:  p.SwitchProc,
+			ProcQueue:  p.SwitchQueue,
+		})
+	})
+	comb.AttachHost(nw, core.SideLeft, gw0, traffic.HostPort, gw0.MAC(), p.HostLink())
+	comb.AttachHost(nw, core.SideRight, gw1, traffic.HostPort, gw1.MAC(), p.HostLink())
+
+	// Streaming capture on the region routers: the per-packet trace
+	// replacement. Every transmission folds into O(1)-memory sketches
+	// instead of a record ring.
+	agg := trace.NewAggregator()
+	for _, r := range comb.Routers {
+		agg.Attach(r)
+	}
+
+	// Fluid fabric: a full fat tree plus hosts. In hybrid mode the
+	// switches never see a packet — the fluid tier only accounts rates
+	// on the links — so no routing state is installed unless
+	// PacketFabric asks for the pure-packet baseline.
+	arity := hp.Arity
+	half := arity / 2
+	perPod := half * half
+	ft := topo.BuildFatTree(nw, topo.FatTreeParams{
+		Arity:           arity,
+		Link:            p.TrunkLink(),
+		SwitchProcDelay: p.SwitchProc,
+		SwitchProcQueue: p.SwitchQueue,
+	})
+	hosts := make([]*traffic.Host, arity*perPod)
+	for pod := 0; pod < arity; pod++ {
+		for e := 0; e < half; e++ {
+			for s := 0; s < half; s++ {
+				g := pod*perPod + e*half + s
+				name := fmt.Sprintf("pod%d-h%d", pod, e*half+s)
+				h := traffic.NewHost(sched, name, packet.HostMAC(uint32(1+g)), packet.HostIP(uint32(1+g)), hostCfgOf(p))
+				nw.Add(h)
+				nw.Connect(h, traffic.HostPort, ft.Pods[pod].Edge[e], ft.EdgeHostPortOf(s), p.HostLink())
+				hosts[g] = h
+			}
+		}
+	}
+	if hp.PacketFabric {
+		installFatTreeRoutes(ft, hosts)
+	}
+
+	region := BuildRegionMap(nw, []string{"compare"}, hp.RegionRadius)
+
+	// hopOf resolves a transmitting (node, port) to a fluid Hop.
+	hopOf := func(n netem.Node, port int) traffic.Hop {
+		l, end := n.Ports().Ref(port)
+		return traffic.Hop{Link: l, End: end}
+	}
+	// pathFor returns the directed fluid path and node route srcG→dstG
+	// along the deterministic fat-tree routing (agg by destination
+	// slot, core by destination pod — the same choice
+	// installFatTreeRoutes materialises as flow entries).
+	pathFor := func(srcG, dstG int) ([]traffic.Hop, []string) {
+		sp, sl := srcG/perPod, srcG%perPod
+		dp, dl := dstG/perPod, dstG%perPod
+		se := sl / half
+		de, ds := dl/half, dl%half
+		jd, md := ds%half, dp%half
+
+		hops := []traffic.Hop{hopOf(hosts[srcG], traffic.HostPort)}
+		route := []string{hosts[srcG].Name(), ft.Pods[sp].Edge[se].Name()}
+		if sp == dp && se == de {
+			hops = append(hops, hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
+			route = append(route, hosts[dstG].Name())
+			return hops, route
+		}
+		hops = append(hops, hopOf(ft.Pods[sp].Edge[se], ft.EdgeUpPortOf(jd)))
+		route = append(route, ft.Pods[sp].Agg[jd].Name())
+		if sp != dp {
+			cw := ft.Cores[jd*half+md]
+			hops = append(hops,
+				hopOf(ft.Pods[sp].Agg[jd], ft.AggUpPortOf(md)),
+				hopOf(cw, ft.CorePodPortOf(dp)))
+			route = append(route, cw.Name(), ft.Pods[dp].Agg[jd].Name())
+		}
+		hops = append(hops,
+			hopOf(ft.Pods[dp].Agg[jd], ft.AggDownPortOf(de)),
+			hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
+		route = append(route, ft.Pods[dp].Edge[de].Name(), hosts[dstG].Name())
+		return hops, route
+	}
+
+	fn := traffic.NewFluidNet(sched, traffic.FluidConfig{Epoch: hp.Epoch})
+
+	total := len(hosts) * hp.FlowsPerHost
+	if hp.CrossFlows > total {
+		hp.CrossFlows = total
+	}
+	swapN := 0
+	if hp.SwapAt > 0 && hp.SwapAt < hp.Duration {
+		swapN = hp.CrossFlows / 2
+		if hp.CrossFlows+swapN > total {
+			swapN = total - hp.CrossFlows
+		}
+	}
+
+	flows := make([]*hybridFlow, total)
+	var promotions, demotions uint64
+	for g := range hosts {
+		for k := 0; k < hp.FlowsPerHost; k++ {
+			i := g*hp.FlowsPerHost + k
+			sp, sl := g/perPod, g%perPod
+			dp := (sp + 1 + k%(arity-1)) % arity
+			dstG := dp*perPod + (sl+k)%perPod
+			hf := &hybridFlow{idx: i, srcG: g, dstG: dstG}
+			hops, route := pathFor(g, dstG)
+			hf.route = route
+			// Flows 0..CrossFlows-1 are monitored: their traffic is
+			// steered through the combiner, so the region map marks
+			// them for promotion. Flows CrossFlows..CrossFlows+swapN-1
+			// get expanders too, but enter the region only at SwapAt.
+			if i < hp.CrossFlows {
+				hf.route = append(append([]string{}, route...), "gw0", "s1", "compare", "s2", "gw1")
+			}
+			hf.crossing = region.Crosses(hf.route)
+			if hf.crossing || (swapN > 0 && i >= hp.CrossFlows && i < hp.CrossFlows+swapN) {
+				src := traffic.NewUDPSource(gw0, uint16(1000+i), gw1.Endpoint(uint16(30000+i)),
+					traffic.UDPSourceConfig{PayloadSize: hybridPayload})
+				sink := traffic.NewUDPSink(gw1, uint16(30000+i))
+				hf.exp = traffic.NewUDPExpander(src, sink)
+			}
+			// The fluid allocator carries a flow's fabric segment in
+			// every mode; in PacketFabric mode the purely-fluid
+			// background flows are materialised as packet streams
+			// instead and skip registration.
+			if !hp.PacketFabric || hf.exp != nil {
+				hf.fluid = fn.NewFlow(hp.FlowDemand, hops)
+			}
+			hf.startAt = time.Duration(i%hp.StartWaves) * (2 * hp.Epoch / time.Duration(hp.StartWaves))
+			flows[i] = hf
+		}
+	}
+
+	// Packet-mode baseline: real UDP sources/sinks on the fabric hosts
+	// for every flow's fabric segment.
+	var pktSrcs []*traffic.UDPSource
+	var pktSinks []*traffic.UDPSink
+	if hp.PacketFabric {
+		pktSrcs = make([]*traffic.UDPSource, total)
+		pktSinks = make([]*traffic.UDPSink, total)
+		for _, hf := range flows {
+			pktSinks[hf.idx] = traffic.NewUDPSink(hosts[hf.dstG], uint16(20000+hf.idx))
+			pktSrcs[hf.idx] = traffic.NewUDPSource(hosts[hf.srcG], uint16(1000+hf.idx),
+				hosts[hf.dstG].Endpoint(uint16(20000+hf.idx)),
+				traffic.UDPSourceConfig{Rate: hp.FlowDemand, PayloadSize: hybridPayload})
+		}
+	}
+
+	for _, hf := range flows {
+		hf := hf
+		sched.After(hf.startAt, func() {
+			if hf.fluid != nil {
+				hf.fluid.Start()
+			}
+			if hp.PacketFabric {
+				pktSrcs[hf.idx].Start()
+			}
+			if hf.crossing && hf.exp != nil {
+				hf.fluid.Promote(hf.exp)
+				promotions++
+			}
+		})
+	}
+	if swapN > 0 {
+		sched.After(hp.SwapAt, func() {
+			for j := 0; j < swapN; j++ {
+				out := flows[j]
+				out.fluid.Demote()
+				demotions++
+				in := flows[hp.CrossFlows+j]
+				in.fluid.Promote(in.exp)
+				promotions++
+			}
+		})
+	}
+
+	sched.RunFor(hp.Duration)
+
+	// Capture allocations before teardown: the final max-min state is
+	// part of the fluid tier's observable outcome.
+	var rateHist, goodHist metrics.Hist
+	for _, hf := range flows {
+		if hf.fluid != nil {
+			rateHist.Add(hf.fluid.Rate() / 1e6)
+		}
+	}
+
+	for _, hf := range flows {
+		if hf.fluid != nil {
+			hf.fluid.Stop()
+		}
+		if hp.PacketFabric {
+			pktSrcs[hf.idx].Stop()
+		}
+	}
+	sched.RunFor(50 * time.Millisecond) // drain in-flight region traffic
+	fn.Close()
+	comb.Close()
+
+	// Delivered traffic per flow. Expander flows are measured by their
+	// flow handle (sink bytes while promoted, analytic accrual
+	// otherwise) in both modes; background flows by analytic accrual in
+	// hybrid mode and by their real packet sink in the baseline — never
+	// both, so the two modes count each flow exactly once.
+	var deliveredTotal, backgroundTotal float64
+	delivered := make([]float64, total)
+	for _, hf := range flows {
+		var bits float64
+		switch {
+		case hf.exp != nil:
+			bits = hf.fluid.DeliveredBits()
+		case hp.PacketFabric:
+			bits = float64(pktSinks[hf.idx].Stats().UniqueBytes) * 8
+		default:
+			bits = hf.fluid.DeliveredBits()
+		}
+		delivered[hf.idx] = bits
+		deliveredTotal += bits
+		if hf.exp == nil {
+			backgroundTotal += bits
+		}
+		goodHist.Add(bits / hp.Duration.Seconds() / 1e6)
+	}
+
+	// Region digest: everything the packet-exact region observed, in
+	// flow order.
+	var rb strings.Builder
+	for _, hf := range flows {
+		if hf.exp == nil {
+			continue
+		}
+		st := hf.exp.Sink.Stats()
+		fmt.Fprintf(&rb, "x%d:s=%d u=%d b=%d dup=%d re=%d cor=%d;",
+			hf.idx, hf.exp.Src.Sent, st.Unique, st.UniqueBytes, st.Duplicates, st.Reordered, st.Corrupted)
+	}
+	cs := comb.Compare.Stats()
+	fmt.Fprintf(&rb, "cmp:a=%d i=%d q=%d blk=%d;gw:%d/%d",
+		cs.Alarms, cs.IngestDrops, cs.QuotaDrops, cs.Blocks,
+		gw0.Stats().TxPackets, gw1.Stats().RxPackets)
+	regionDigest := rb.String()
+
+	// Whole-run digest: fold the fluid outcome exactly (bit patterns,
+	// flow order) over the region digest.
+	h := fnv.New64a()
+	h.Write([]byte(regionDigest))
+	var buf [8]byte
+	put := func(v uint64) {
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(v >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	for _, hf := range flows {
+		put(math.Float64bits(delivered[hf.idx]))
+		if hf.fluid != nil {
+			put(math.Float64bits(hf.fluid.Rate()))
+		}
+	}
+	put(fn.Settles())
+	digest := fmt.Sprintf("%s|fluid=%016x|settles=%d|events=%d", regionDigest, h.Sum64(), fn.Settles(), sched.Executed())
+
+	// Pure-packet projection: each flow at its offered rate would emit
+	// demand/(8·payload) datagrams per second for the duration, each
+	// crossing ~6 links at 2 scheduler events per link hop (tx-done +
+	// delivery) plus ~8 more for switch pipelines and host ingest.
+	perDatagram := 20.0
+	projected := float64(total) * hp.FlowDemand / (8 * hybridPayload) * hp.Duration.Seconds() * perDatagram
+	events := sched.Executed()
+	ratio := 0.0
+	if events > 0 {
+		ratio = projected / float64(events)
+	}
+
+	nSwitches := half*half + arity*arity // cores + per-pod (agg+edge)
+	return HybridResult{
+		Arity:                   arity,
+		Hosts:                   len(hosts),
+		Switches:                nSwitches,
+		Flows:                   total,
+		CrossFlows:              hp.CrossFlows,
+		RegionNodes:             region.Size(),
+		Events:                  events,
+		Settles:                 fn.Settles(),
+		Promotions:              promotions,
+		Demotions:               demotions,
+		FluidDeliveredBits:      deliveredTotal,
+		BackgroundDeliveredBits: backgroundTotal,
+		RegionDigest:            regionDigest,
+		Digest:                  digest,
+		ProjectedPacketEvents:   projected,
+		EventRatio:              ratio,
+		Hists: map[string]metrics.Hist{
+			"flow_rate_mbps":    rateHist,
+			"flow_goodput_mbps": goodHist,
+			"region_wire_bytes": agg.WireLen(),
+			"region_gap_us":     agg.Gap(),
+		},
+	}
+}
+
+// installFatTreeRoutes materialises the deterministic two-level routing
+// (agg by destination slot, core by destination pod) as proactive
+// dst-MAC flow entries — only needed when the fabric carries real
+// packets.
+func installFatTreeRoutes(ft *topo.FatTree, hosts []*traffic.Host) {
+	arity := ft.Arity
+	half := arity / 2
+	perPod := half * half
+	route := func(mac packet.MAC, out int) *openflow.FlowEntry {
+		return &openflow.FlowEntry{
+			Priority: 100,
+			Match:    openflow.MatchAll().WithDlDst(mac),
+			Actions:  []openflow.Action{openflow.Output(uint16(out))},
+		}
+	}
+	for pod := 0; pod < arity; pod++ {
+		for e := 0; e < half; e++ {
+			for s := 0; s < half; s++ {
+				mac := hosts[pod*perPod+e*half+s].MAC()
+				jd, md := s%half, pod%half
+				for p2 := 0; p2 < arity; p2++ {
+					for e2 := 0; e2 < half; e2++ {
+						if p2 == pod && e2 == e {
+							ft.Pods[p2].Edge[e2].Table().Add(route(mac, ft.EdgeHostPortOf(s)))
+						} else {
+							ft.Pods[p2].Edge[e2].Table().Add(route(mac, ft.EdgeUpPortOf(jd)))
+						}
+					}
+					for j := 0; j < half; j++ {
+						if p2 == pod {
+							ft.Pods[p2].Agg[j].Table().Add(route(mac, ft.AggDownPortOf(e)))
+						} else {
+							ft.Pods[p2].Agg[j].Table().Add(route(mac, ft.AggUpPortOf(md)))
+						}
+					}
+				}
+				for _, c := range ft.Cores {
+					c.Table().Add(route(mac, ft.CorePodPortOf(pod)))
+				}
+			}
+		}
+	}
+}

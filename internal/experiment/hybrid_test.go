@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func quickHybrid() (Params, HybridParams) {
+	p := DefaultParams().Quick()
+	hp := DefaultHybridParams()
+	hp.Duration = 300 * time.Millisecond
+	hp.SwapAt = 150 * time.Millisecond
+	return p, hp
+}
+
+// TestHybridDifferentialFidelity is the engine's core contract: a
+// pure-packet rerun of the same scenario must observe bit-identical
+// behaviour inside the packet-exact region, while the fluid model's
+// off-region goodput stays within tolerance of the real packet streams.
+func TestHybridDifferentialFidelity(t *testing.T) {
+	p, hp := quickHybrid()
+
+	hyb := RunHybrid(p, hp)
+	hp.PacketFabric = true
+	pure := RunHybrid(p, hp)
+
+	if hyb.RegionDigest != pure.RegionDigest {
+		t.Fatalf("compare-region observations diverged:\nhybrid: %s\npacket: %s", hyb.RegionDigest, pure.RegionDigest)
+	}
+	if hyb.Promotions != pure.Promotions || hyb.Demotions != pure.Demotions {
+		t.Fatalf("promotion bookkeeping diverged: %d/%d vs %d/%d",
+			hyb.Promotions, hyb.Demotions, pure.Promotions, pure.Demotions)
+	}
+
+	// Off-region goodput: the fluid model's analytic delivery vs what
+	// real packet streams carried to real sinks. Start/stop
+	// quantisation (epoch boundaries vs pacing ticks) and drain effects
+	// bound the error.
+	if hyb.BackgroundDeliveredBits <= 0 || pure.BackgroundDeliveredBits <= 0 {
+		t.Fatalf("no background traffic delivered: hybrid=%v pure=%v",
+			hyb.BackgroundDeliveredBits, pure.BackgroundDeliveredBits)
+	}
+	rel := math.Abs(hyb.BackgroundDeliveredBits-pure.BackgroundDeliveredBits) / pure.BackgroundDeliveredBits
+	if rel > 0.1 {
+		t.Fatalf("off-region goodput error %.1f%% exceeds tolerance: hybrid=%.0f pure=%.0f bits",
+			rel*100, hyb.BackgroundDeliveredBits, pure.BackgroundDeliveredBits)
+	}
+
+	// The whole point: the hybrid run does far less work.
+	if pure.Events <= hyb.Events {
+		t.Fatalf("hybrid run executed more events than pure packet: %d vs %d", hyb.Events, pure.Events)
+	}
+}
+
+func TestHybridDeterministicDigest(t *testing.T) {
+	p, hp := quickHybrid()
+	a := RunHybrid(p, hp)
+	b := RunHybrid(p, hp)
+	if a.Digest != b.Digest {
+		t.Fatalf("hybrid digests diverged across identical runs:\n%s\n%s", a.Digest, b.Digest)
+	}
+	if a.Events != b.Events || a.Settles != b.Settles {
+		t.Fatalf("counters diverged: events %d/%d settles %d/%d", a.Events, b.Events, a.Settles, b.Settles)
+	}
+}
+
+func TestHybridEventReduction(t *testing.T) {
+	p, hp := quickHybrid()
+	// The ratio depends on the background:crossing mix; use a workload
+	// shaped like the real thing (many fluid flows, few monitored).
+	hp.FlowsPerHost = 8
+	hp.CrossFlows = 2
+	r := RunHybrid(p, hp)
+	if r.EventRatio < 20 {
+		t.Fatalf("event ratio %.1fx below the 20x acceptance floor (events=%d projected=%.0f)",
+			r.EventRatio, r.Events, r.ProjectedPacketEvents)
+	}
+	if r.Settles == 0 {
+		t.Fatal("fluid tier never settled")
+	}
+	if r.Promotions == 0 || r.Demotions == 0 {
+		t.Fatalf("region boundary transitions not exercised: promotions=%d demotions=%d", r.Promotions, r.Demotions)
+	}
+	rates, goods := r.Hists["flow_rate_mbps"], r.Hists["flow_goodput_mbps"]
+	if rates.N() == 0 || goods.N() == 0 {
+		t.Fatal("hybrid histograms empty")
+	}
+}
+
+func TestHybridKindRuns(t *testing.T) {
+	p := DefaultParams().Quick()
+	res := Run(KindHybrid, p, ScenCentral3, 1)
+	if res.Kind != "hybrid" {
+		t.Fatalf("kind = %q", res.Kind)
+	}
+	if res.Metrics["hybrid_flows"] == 0 || res.Metrics["hybrid_events"] == 0 {
+		t.Fatalf("metrics missing: %v", res.Metrics)
+	}
+	if len(res.Hists) != 4 {
+		t.Fatalf("hists missing: %v", res.Hists)
+	}
+	if _, err := ParseKind("hybrid"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"sort"
+
+	"netco/internal/netem"
+)
+
+// RegionMap marks the nodes of a network that must stay packet-exact —
+// the compare/adversary/congestion neighbourhoods of a hybrid scenario.
+// Everything outside the map is fair game for the fluid tier; a flow
+// whose route touches the map must be promoted (expanded into real
+// packets) for the in-region segment.
+//
+// The map is a BFS ball: every node within the given hop radius of a
+// seed node, over the network's link adjacency. Construction iterates
+// links in creation order and frontiers in discovery order, never a Go
+// map, so identical networks yield identical maps.
+type RegionMap struct {
+	inside map[string]bool
+	names  []string // discovery order
+	radius int
+}
+
+// BuildRegionMap grows packet-exact regions of the given hop radius
+// around each seed node name. Radius 0 marks the seeds alone; seeds not
+// present in the network are still marked (they simply have no
+// neighbours to spread to).
+func BuildRegionMap(nw *netem.Network, seeds []string, radius int) *RegionMap {
+	adj := make(map[string][]string)
+	for _, l := range nw.Links() {
+		a, _ := l.Peer(1) // node attached at end 0
+		b, _ := l.Peer(0) // node attached at end 1
+		if a == nil || b == nil {
+			continue
+		}
+		adj[a.Name()] = append(adj[a.Name()], b.Name())
+		adj[b.Name()] = append(adj[b.Name()], a.Name())
+	}
+
+	rm := &RegionMap{inside: make(map[string]bool), radius: radius}
+	frontier := make([]string, 0, len(seeds))
+	for _, s := range seeds {
+		if !rm.inside[s] {
+			rm.inside[s] = true
+			rm.names = append(rm.names, s)
+			frontier = append(frontier, s)
+		}
+	}
+	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
+		var next []string
+		for _, n := range frontier {
+			for _, m := range adj[n] {
+				if !rm.inside[m] {
+					rm.inside[m] = true
+					rm.names = append(rm.names, m)
+					next = append(next, m)
+				}
+			}
+		}
+		frontier = next
+	}
+	return rm
+}
+
+// Contains reports whether the node name lies inside a packet-exact
+// region.
+func (rm *RegionMap) Contains(name string) bool { return rm.inside[name] }
+
+// Size returns the number of in-region nodes.
+func (rm *RegionMap) Size() int { return len(rm.names) }
+
+// Radius returns the BFS radius the map was built with.
+func (rm *RegionMap) Radius() int { return rm.radius }
+
+// Names returns the in-region node names, sorted.
+func (rm *RegionMap) Names() []string {
+	out := append([]string(nil), rm.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Crosses reports whether any node of the route lies in a packet-exact
+// region — the promotion predicate for a fluid flow.
+func (rm *RegionMap) Crosses(route []string) bool {
+	for _, n := range route {
+		if rm.inside[n] {
+			return true
+		}
+	}
+	return false
+}

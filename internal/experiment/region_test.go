@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/packet"
+	"netco/internal/sim"
+	"netco/internal/traffic"
+)
+
+// regionChain builds h0-h1-...-h4 and returns the network.
+func regionChain(t *testing.T) *netem.Network {
+	t.Helper()
+	sched := sim.NewScheduler()
+	nw := netem.New(sched)
+	var prev *traffic.Host
+	for i := 0; i < 5; i++ {
+		h := traffic.NewHost(sched, []string{"h0", "h1", "h2", "h3", "h4"}[i],
+			packet.HostMAC(uint32(i+1)), packet.HostIP(uint32(i+1)), traffic.HostConfig{})
+		nw.Add(h)
+		if prev != nil {
+			nw.Connect(prev, 1, h, 0, netem.LinkConfig{Delay: time.Microsecond})
+		}
+		prev = h
+	}
+	return nw
+}
+
+func TestRegionMapRadius(t *testing.T) {
+	nw := regionChain(t)
+	rm := BuildRegionMap(nw, []string{"h2"}, 1)
+	want := []string{"h1", "h2", "h3"}
+	if got := rm.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("radius-1 ball = %v, want %v", got, want)
+	}
+	if !rm.Contains("h2") || rm.Contains("h0") || rm.Size() != 3 {
+		t.Fatalf("membership wrong: size=%d", rm.Size())
+	}
+	if rm.Radius() != 1 {
+		t.Fatalf("radius = %d", rm.Radius())
+	}
+
+	// Radius 0 marks only the seed; a big radius floods the component.
+	if got := BuildRegionMap(nw, []string{"h2"}, 0).Names(); !reflect.DeepEqual(got, []string{"h2"}) {
+		t.Fatalf("radius-0 = %v", got)
+	}
+	if got := BuildRegionMap(nw, []string{"h0"}, 10).Size(); got != 5 {
+		t.Fatalf("flooded ball size = %d, want 5", got)
+	}
+}
+
+func TestRegionMapCrosses(t *testing.T) {
+	nw := regionChain(t)
+	rm := BuildRegionMap(nw, []string{"h2"}, 1)
+	if !rm.Crosses([]string{"h0", "h1"}) {
+		t.Fatal("route through h1 should cross")
+	}
+	if rm.Crosses([]string{"h0", "h4"}) {
+		t.Fatal("route avoiding the ball should not cross")
+	}
+	if rm.Crosses(nil) {
+		t.Fatal("empty route crosses nothing")
+	}
+}
+
+func TestRegionMapUnknownSeed(t *testing.T) {
+	nw := regionChain(t)
+	rm := BuildRegionMap(nw, []string{"ghost"}, 3)
+	if rm.Size() != 1 || !rm.Contains("ghost") {
+		t.Fatalf("unknown seed handling: size=%d", rm.Size())
+	}
+}

@@ -26,10 +26,16 @@ const (
 	KindPing
 	// KindJitter is the Fig. 8 measurement: UDP jitter across packet sizes.
 	KindJitter
+	// KindHybrid runs the hybrid fluid/packet traffic engine's sweep
+	// unit: a small fat-tree fluid fabric with a packet-exact combiner
+	// region (see RunHybrid). The scenario only selects labelling — the
+	// region is always a Central3 combiner — and the unit is serial by
+	// construction, so Params.Partitions does not apply.
+	KindHybrid
 )
 
 // AllKinds lists every schedulable kind.
-var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter}
+var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter, KindHybrid}
 
 // String names the kind for CLIs and artifacts.
 func (k Kind) String() string {
@@ -42,6 +48,8 @@ func (k Kind) String() string {
 		return "ping"
 	case KindJitter:
 		return "jitter"
+	case KindHybrid:
+		return "hybrid"
 	}
 	return "unknown"
 }
@@ -53,7 +61,7 @@ func ParseKind(name string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping or jitter)", name)
+	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping, jitter or hybrid)", name)
 }
 
 // ParseScenario resolves a paper scenario name (case-insensitive).
@@ -83,6 +91,10 @@ type Result struct {
 	// Summaries holds the run's distributions, mergeable across runs via
 	// metrics.Summary.Merge.
 	Summaries map[string]metrics.Summary `json:"summaries,omitempty"`
+	// Hists holds the run's streaming histogram sketches (hybrid runs'
+	// per-flow rate/goodput distributions), mergeable across runs via
+	// metrics.Hist.Merge.
+	Hists map[string]metrics.Hist `json:"hists,omitempty"`
 }
 
 // setMetric records a scalar, dropping non-finite values.
@@ -156,6 +168,22 @@ func Run(k Kind, p Params, s Scenario, seed int64) Result {
 			across.Add(us)
 		}
 		res.addSummary("jitter_us", across)
+	case KindHybrid:
+		hp := DefaultHybridParams()
+		hp.Duration = p.UDPDuration
+		hr := RunHybrid(p, hp)
+		res.setMetric("hybrid_flows", float64(hr.Flows))
+		res.setMetric("hybrid_cross_flows", float64(hr.CrossFlows))
+		res.setMetric("hybrid_events", float64(hr.Events))
+		res.setMetric("hybrid_settles", float64(hr.Settles))
+		res.setMetric("hybrid_promotions", float64(hr.Promotions))
+		res.setMetric("hybrid_demotions", float64(hr.Demotions))
+		res.setMetric("hybrid_event_ratio", hr.EventRatio)
+		res.setMetric("fluid_goodput_mbps", hr.FluidDeliveredBits/hp.Duration.Seconds()/1e6)
+		var good metrics.Summary
+		good.Add(hr.FluidDeliveredBits / hp.Duration.Seconds() / 1e6)
+		res.addSummary("fluid_goodput_mbps", good)
+		res.Hists = hr.Hists
 	default:
 		panic(fmt.Sprintf("experiment: unknown Kind %d", k))
 	}

@@ -96,6 +96,52 @@ func TestSummaryMergeEmptyCases(t *testing.T) {
 	if dst.N() != 2 || dst.Mean() != 6 || dst.Min() != 5 || dst.Max() != 7 {
 		t.Fatalf("empty.Merge(s) = N=%d Mean=%v Min=%v Max=%v", dst.N(), dst.Mean(), dst.Min(), dst.Max())
 	}
+
+	// empty ⊕ empty stays empty: N is 0 and Min/Max/Mean keep reporting
+	// NaN rather than adopting zero-valued "measurements".
+	var a, b Summary
+	a.Merge(b)
+	if a.N() != 0 || !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) || !math.IsNaN(a.Mean()) {
+		t.Fatalf("empty⊕empty: N=%d Min=%v Max=%v Mean=%v", a.N(), a.Min(), a.Max(), a.Mean())
+	}
+	// ... and stays mergeable afterwards.
+	a.Merge(s)
+	if a.N() != 2 || a.Min() != 5 {
+		t.Fatalf("merge after empty⊕empty: N=%d Min=%v", a.N(), a.Min())
+	}
+}
+
+func TestSummaryMergeNaNMinMaxPropagation(t *testing.T) {
+	// The NaN that empty Min/Max *report* is an output convention, not
+	// stored state: merging an empty summary in must never poison the
+	// destination's min/max, in either direction.
+	var empty, s Summary
+	s.Add(-2)
+	s.Add(9)
+
+	got := s
+	got.Merge(empty)
+	if got.Min() != -2 || got.Max() != 9 {
+		t.Fatalf("nonempty.Merge(empty) corrupted Min/Max: %v/%v", got.Min(), got.Max())
+	}
+	var dst Summary
+	dst.Merge(s)
+	dst.Merge(empty)
+	if dst.Min() != -2 || dst.Max() != 9 || dst.N() != 2 {
+		t.Fatalf("adopt-then-empty corrupted Min/Max: %v/%v N=%d", dst.Min(), dst.Max(), dst.N())
+	}
+
+	// A summary that was fed an actual NaN sample is a caller bug, but
+	// Merge must still not turn a clean summary's exact fields into NaN
+	// via the empty-adopt path: only genuinely empty summaries shortcut.
+	var clean Summary
+	clean.Add(1)
+	var alsoClean Summary
+	alsoClean.Add(2)
+	clean.Merge(alsoClean)
+	if math.IsNaN(clean.Min()) || math.IsNaN(clean.Max()) || clean.N() != 2 {
+		t.Fatalf("clean merge produced NaN: %v/%v", clean.Min(), clean.Max())
+	}
 }
 
 func TestSummaryJSONRoundTrip(t *testing.T) {

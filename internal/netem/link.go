@@ -61,8 +61,28 @@ type linkDir struct {
 	busyUntil  time.Duration
 	queued     int
 	deliverSeq uint64 // per-direction delivery counter: the channel key
-	stats      LinkStats
+	// fluidBps is the aggregate fluid-tier load currently assigned to
+	// this direction (bits per second of rate-process flows that are not
+	// expanded into discrete packets). It shrinks the effective capacity
+	// and inflates the queueing delay that discrete packets see — the
+	// coexistence contract of the hybrid traffic engine.
+	fluidBps float64
+	stats    LinkStats
 }
+
+// Fluid/packet coexistence constants.
+const (
+	// minEffectiveShare floors the capacity left to discrete packets
+	// under fluid load: however much fluid rate the allocator assigns,
+	// packets keep at least this fraction of the line rate, so a
+	// misconfigured (oversubscribed) fluid tier degrades packet service
+	// instead of stalling the simulation with near-infinite
+	// serialisation times.
+	minEffectiveShare = 0.05
+	// maxFluidRho caps the utilisation used in the queue-delay
+	// inflation term ρ/(1−ρ), which diverges as ρ → 1.
+	maxFluidRho = 0.95
+)
 
 // CrossPost is the partitioned engine's boundary: where a link's two ends
 // live in different partitions, deliveries are posted through it instead
@@ -136,6 +156,60 @@ func (l *Link) SetDown(down bool) { l.down = down }
 // Stats returns the counters for the direction transmitting from end.
 func (l *Link) Stats(end int) LinkStats { return l.dirs[end].stats }
 
+// SetFluidLoad assigns the aggregate fluid-tier rate (bits per second)
+// riding the direction that transmits from end. The fluid tier's
+// allocator calls it after every reallocation; packets sent afterwards
+// see the shrunken effective capacity and inflated queueing delay.
+// Negative loads clamp to zero.
+func (l *Link) SetFluidLoad(fromEnd int, bps float64) {
+	if bps < 0 || math.IsNaN(bps) {
+		bps = 0
+	}
+	l.dirs[fromEnd].fluidBps = bps
+}
+
+// FluidLoad returns the aggregate fluid rate currently assigned to the
+// direction transmitting from end.
+func (l *Link) FluidLoad(fromEnd int) float64 { return l.dirs[fromEnd].fluidBps }
+
+// Capacity returns the configured line rate (0 = infinitely fast) — the
+// budget the fluid tier's max-min allocator water-fills.
+func (l *Link) Capacity() float64 { return l.cfg.Bandwidth }
+
+// EffectiveBandwidth returns the capacity left to discrete packets on
+// the direction transmitting from end: the line rate minus the fluid
+// load, floored at minEffectiveShare of the line rate. Zero means
+// infinitely fast (an unbanded link stays unbanded; fluid load on it is
+// accounting-only).
+func (l *Link) EffectiveBandwidth(fromEnd int) float64 {
+	bw := l.cfg.Bandwidth
+	if bw == 0 {
+		return 0
+	}
+	eff := bw - l.dirs[fromEnd].fluidBps
+	if floor := bw * minEffectiveShare; eff < floor {
+		eff = floor
+	}
+	return eff
+}
+
+// fluidQueueDelay returns the extra queueing latency a packet of the
+// given serialisation time experiences from the fluid aggregate sharing
+// the direction: the M/M/1-shaped ρ/(1−ρ) term, with ρ the fluid
+// utilisation of the line rate, capped at maxFluidRho. It is zero when
+// no fluid load is assigned, keeping the packet-only path bit-identical
+// to the pre-hybrid engine.
+func (d *linkDir) fluidQueueDelay(bw float64, txTime time.Duration) time.Duration {
+	if d.fluidBps <= 0 || bw <= 0 {
+		return 0
+	}
+	rho := d.fluidBps / bw
+	if rho > maxFluidRho {
+		rho = maxFluidRho
+	}
+	return time.Duration(math.Round(rho / (1 - rho) * float64(txTime)))
+}
+
 // Send transmits pkt from the given end toward the peer, modelling
 // serialisation, queueing and propagation. It reports whether the packet
 // was accepted (false = tail drop or link down). The caller must not
@@ -158,7 +232,7 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 
 	sched := l.scheds[fromEnd] // Send runs in the transmitting node's domain
 	now := sched.Now()
-	var txTime time.Duration
+	var txTime, fluidDelay time.Duration
 	if l.cfg.Bandwidth > 0 {
 		bits := float64(pkt.WireLen()+packet.FrameOverhead) * 8
 		// Round to the nearest nanosecond instead of truncating: at high
@@ -166,7 +240,11 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 		// frames collapse onto one instant (a 64 B minimum frame at
 		// 10 Gb/s serialises in 67.2 ns — truncation would still order
 		// them, but any rate where the true time is < 1 ns would not).
-		txTime = time.Duration(math.Round(bits / l.cfg.Bandwidth * 1e9))
+		// Serialisation runs at the capacity the fluid tier left over;
+		// with no fluid load EffectiveBandwidth is exactly cfg.Bandwidth
+		// and the arithmetic is bit-identical to the packet-only engine.
+		txTime = time.Duration(math.Round(bits / l.EffectiveBandwidth(fromEnd) * 1e9))
+		fluidDelay = d.fluidQueueDelay(l.cfg.Bandwidth, txTime)
 	}
 	start := now
 	if d.busyUntil > start {
@@ -188,7 +266,7 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 	ch := l.id*2 + uint64(fromEnd)
 	seq := d.deliverSeq
 	d.deliverSeq++
-	at := finish + l.cfg.Delay
+	at := finish + l.cfg.Delay + fluidDelay
 	if cp := l.cross[fromEnd]; cp != nil {
 		cp.Post(at, ch, seq, linkDeliver, &l.ends[1-fromEnd], pkt, 0)
 	} else {

@@ -176,6 +176,58 @@ func TestSweepMergeMatchesSingleThreadedFold(t *testing.T) {
 	}
 }
 
+// Hybrid runs attach histogram sketches; the report folds them per
+// group exactly (integer bucket counts) and the artifact stays
+// byte-identical across worker counts.
+func TestSweepMergesHybridHists(t *testing.T) {
+	p := experiment.DefaultParams().Quick()
+	p.UDPDuration = 60 * time.Millisecond
+	jobs := Grid{
+		Kinds:     []experiment.Kind{experiment.KindHybrid},
+		Scenarios: []experiment.Scenario{experiment.ScenCentral3},
+		Seeds:     []int64{1, 2},
+		Variants:  []Variant{{Params: p}},
+	}.Jobs()
+
+	serial := Sweep(context.Background(), 1, jobs)
+	parallel := Sweep(context.Background(), 2, jobs)
+	var a, b bytes.Buffer
+	if err := serial.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("hybrid artifacts differ across worker counts")
+	}
+
+	if serial.Failed != 0 {
+		t.Fatalf("%d runs failed", serial.Failed)
+	}
+	want := make(map[string]metrics.Hist)
+	for _, rec := range serial.Runs {
+		for _, name := range histNames(rec.Result.Hists) {
+			key := rec.Group + "." + name
+			m := want[key]
+			m.Merge(rec.Result.Hists[name])
+			want[key] = m
+		}
+	}
+	if len(want) == 0 || len(serial.MergedHists) != len(want) {
+		t.Fatalf("merged hists: got %d keys, want %d", len(serial.MergedHists), len(want))
+	}
+	for key, w := range want {
+		g, ok := serial.MergedHists[key]
+		if !ok || g.N() != w.N() || g.Min() != w.Min() || g.Max() != w.Max() {
+			t.Fatalf("merged hist %q diverged from single-threaded fold (ok=%v)", key, ok)
+		}
+	}
+	if h := serial.MergedHists["hybrid/Central3.flow_rate_mbps"]; h.N() == 0 {
+		t.Fatal("flow_rate_mbps sketch empty after merge")
+	}
+}
+
 // A run that panics (unknown kind) fails its record deterministically
 // and leaves the rest of the sweep intact.
 func TestSweepRecordsPanicsAsFailedRuns(t *testing.T) {

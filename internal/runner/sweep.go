@@ -75,13 +75,17 @@ type RunRecord struct {
 }
 
 // Report is a sweep's full outcome: every run in job order plus the
-// per-group merged summaries. It contains no wall-clock fields — the
-// report for a given job list is byte-identical regardless of worker
-// count, machine or run time.
+// per-group merged summaries and histogram sketches. It contains no
+// wall-clock fields — the report for a given job list is byte-identical
+// regardless of worker count, machine or run time.
 type Report struct {
 	Runs   []RunRecord                `json:"runs"`
 	Merged map[string]metrics.Summary `json:"merged"`
-	Failed int                        `json:"failed"`
+	// MergedHists folds each run's histogram sketches per group (key
+	// "<group>.<hist>"). Hist.Merge is exact (integer bucket counts),
+	// so unlike Summary the fold order cannot even perturb float bits.
+	MergedHists map[string]metrics.Hist `json:"merged_hists,omitempty"`
+	Failed      int                     `json:"failed"`
 }
 
 // Sweep executes the jobs across the worker pool and assembles the
@@ -109,10 +113,29 @@ func Sweep(ctx context.Context, workers int, jobs []Job) Report {
 				merged.Merge(r.Summaries[name])
 				rep.Merged[key] = merged
 			}
+			for _, name := range histNames(r.Hists) {
+				if rep.MergedHists == nil {
+					rep.MergedHists = make(map[string]metrics.Hist)
+				}
+				key := rec.Group + "." + name
+				merged := rep.MergedHists[key]
+				merged.Merge(r.Hists[name])
+				rep.MergedHists[key] = merged
+			}
 		}
 		rep.Runs[i] = rec
 	}
 	return rep
+}
+
+// histNames returns the histogram keys in sorted order.
+func histNames(m map[string]metrics.Hist) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // summaryNames returns the summary keys in sorted order so merging is

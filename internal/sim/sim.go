@@ -217,6 +217,53 @@ func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	return s.At(s.now+d, fn)
 }
 
+// Ticker is a repeating timer created by Every. Stop halts future firings.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       func()
+	timer    Timer
+	stopped  bool
+}
+
+// Every schedules fn to run every interval of virtual time, first firing
+// one interval from now. The returned Ticker must be stopped for a
+// finite simulation's queue to drain; interval must be positive. The
+// callback runs before the next firing is armed, so fn observing the
+// Ticker (e.g. calling Stop) takes effect immediately.
+func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every interval must be positive")
+	}
+	tk := &Ticker{s: s, interval: interval, fn: fn}
+	tk.arm()
+	return tk
+}
+
+func (tk *Ticker) arm() {
+	tk.timer = tk.s.After(tk.interval, tk.fire)
+}
+
+func (tk *Ticker) fire() {
+	if tk.stopped {
+		return
+	}
+	tk.fn()
+	if !tk.stopped {
+		tk.arm()
+	}
+}
+
+// Stop halts the ticker. It is idempotent and safe to call from the
+// ticker's own callback.
+func (tk *Ticker) Stop() {
+	if tk.stopped {
+		return
+	}
+	tk.stopped = true
+	tk.timer.Stop()
+}
+
 // Step executes the single earliest pending event, advancing the clock to
 // its deadline. It reports whether an event was executed (false when the
 // queue is empty).

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTickerFiresAtIntervals(t *testing.T) {
+	s := NewScheduler()
+	var fired []time.Duration
+	tk := s.Every(10*time.Millisecond, func() {
+		fired = append(fired, s.Now())
+	})
+	s.RunFor(35 * time.Millisecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d times, want 3 (%v)", len(fired), fired)
+	}
+	for i, at := range fired {
+		if want := time.Duration(i+1) * 10 * time.Millisecond; at != want {
+			t.Fatalf("firing %d at %v, want %v", i, at, want)
+		}
+	}
+	tk.Stop()
+	s.RunFor(50 * time.Millisecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired after Stop: %d", len(fired))
+	}
+	if s.Live() != 0 {
+		t.Fatalf("stopped ticker left %d live events", s.Live())
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := NewScheduler()
+	var tk *Ticker
+	n := 0
+	tk = s.Every(time.Millisecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if n != 2 {
+		t.Fatalf("fired %d times, want 2", n)
+	}
+	tk.Stop() // idempotent
+}

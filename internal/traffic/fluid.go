@@ -1,0 +1,449 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/sim"
+)
+
+// The fluid tier models flows as rate processes instead of packet
+// streams: each flow is a demand plus a path of directed link hops, and
+// a max-min fair allocator shares every link's capacity among the flows
+// crossing it. No per-packet events exist for a fluid flow — links just
+// carry its allocated rate as aggregate load (netem.Link.SetFluidLoad),
+// which the packet tier sees as shrunken effective capacity and
+// inflated queue delay. This is what makes million-flow scenarios
+// tractable: cost scales with rate *changes* (epoch settles), not with
+// packets.
+//
+// Determinism contract: the allocator never iterates a Go map. Flows
+// are processed in creation order and link directions in first-touch
+// order, so identical construction sequences produce bit-identical
+// allocations, loads, and delivered-byte counters regardless of host,
+// worker count, or run repetition.
+
+// Hop is one directed link traversal on a fluid flow's path: the link
+// plus the end the flow transmits from (netem's 0/1 orientation, as
+// returned by Ports.Ref).
+type Hop struct {
+	Link *netem.Link
+	End  int
+}
+
+// Expander drives real packets for a fluid flow promoted across a
+// packet-exact region: the fluid tier retargets its rate at every
+// reallocation and reads back how many bytes the packet tier actually
+// delivered end to end.
+type Expander interface {
+	// SetRate retargets the packet generator's offered load (bits/s).
+	SetRate(bps float64)
+	// DeliveredBytes returns cumulative bytes delivered by the packet
+	// tier since the expander was created (monotone).
+	DeliveredBytes() uint64
+	// Start and Stop control the underlying generator.
+	Start()
+	Stop()
+}
+
+// FluidConfig parameterises a FluidNet.
+type FluidConfig struct {
+	// Epoch is the reallocation quantum: rate changes requested inside
+	// an epoch (flow starts, stops, demand edits) are coalesced and
+	// applied together at the next epoch boundary. Default 10 ms.
+	Epoch time.Duration
+}
+
+// fluidDir is the allocator's per-(link, direction) state.
+type fluidDir struct {
+	link *netem.Link
+	end  int
+	cap  float64 // link capacity in bits/s; 0 = unconstrained
+
+	// Scratch for one settle pass.
+	load     float64 // total allocated rate through this direction
+	unfrozen int     // flows still receiving increments
+	sat      bool    // saturated this round
+}
+
+type dirKey struct {
+	link *netem.Link
+	end  int
+}
+
+// FluidNet owns the fluid flows of one simulation and runs the max-min
+// fair allocator over them at epoch boundaries.
+type FluidNet struct {
+	sched *sim.Scheduler
+	epoch time.Duration
+
+	flows  []*FluidFlow // active + recently-stopped, creation order
+	dirs   []*fluidDir  // first-touch order
+	dirOf  map[dirKey]*fluidDir
+	nextID int
+
+	dirty   bool
+	armed   bool
+	timer   sim.Timer
+	settles uint64
+}
+
+// NewFluidNet creates an empty fluid tier on the scheduler.
+func NewFluidNet(sched *sim.Scheduler, cfg FluidConfig) *FluidNet {
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 10 * time.Millisecond
+	}
+	return &FluidNet{
+		sched: sched,
+		epoch: cfg.Epoch,
+		dirOf: make(map[dirKey]*fluidDir),
+	}
+}
+
+// Epoch returns the reallocation quantum.
+func (fn *FluidNet) Epoch() time.Duration { return fn.epoch }
+
+// Settles returns how many reallocation passes have run — the fluid
+// tier's event-count analogue.
+func (fn *FluidNet) Settles() uint64 { return fn.settles }
+
+// Flows returns the number of flows currently tracked (active or
+// awaiting their final settle).
+func (fn *FluidNet) Flows() int { return len(fn.flows) }
+
+// Close cancels any pending epoch timer. Loads already pushed to links
+// stay as they are; call after the measurement window closes.
+func (fn *FluidNet) Close() {
+	fn.timer.Stop()
+	fn.armed = false
+	fn.dirty = false
+}
+
+// NewFlow registers a rate process with the given demand (bits/s) and
+// directed path. The flow is idle until Start. Demand is clamped to
+// finite non-negative; a nil link in the path panics (construction
+// bug).
+func (fn *FluidNet) NewFlow(demand float64, path []Hop) *FluidFlow {
+	if math.IsNaN(demand) || math.IsInf(demand, 0) || demand < 0 {
+		demand = 0
+	}
+	f := &FluidFlow{
+		net:    fn,
+		id:     fn.nextID,
+		demand: demand,
+		dirs:   make([]*fluidDir, len(path)),
+	}
+	fn.nextID++
+	for i, h := range path {
+		if h.Link == nil {
+			panic(fmt.Sprintf("traffic: fluid flow %d hop %d has nil link", f.id, i))
+		}
+		f.dirs[i] = fn.dirFor(h)
+	}
+	return f
+}
+
+func (fn *FluidNet) dirFor(h Hop) *fluidDir {
+	k := dirKey{link: h.Link, end: h.End}
+	if d, ok := fn.dirOf[k]; ok {
+		return d
+	}
+	d := &fluidDir{link: h.Link, end: h.End, cap: h.Link.Capacity()}
+	fn.dirOf[k] = d
+	fn.dirs = append(fn.dirs, d)
+	return d
+}
+
+// markDirty schedules a settle at the next epoch boundary (strictly
+// after now), coalescing every change requested inside the epoch into
+// one reallocation.
+func (fn *FluidNet) markDirty() {
+	fn.dirty = true
+	if fn.armed {
+		return
+	}
+	fn.armed = true
+	now := fn.sched.Now()
+	boundary := (now/fn.epoch + 1) * fn.epoch
+	fn.timer = fn.sched.After(boundary-now, fn.onEpoch)
+}
+
+func (fn *FluidNet) onEpoch() {
+	fn.armed = false
+	if fn.dirty {
+		fn.settle()
+	}
+}
+
+// settle recomputes the max-min fair allocation by progressive filling:
+// all unfrozen flows' rates rise in lockstep until a flow hits its
+// demand or a link direction saturates; affected flows freeze and the
+// filling continues among the rest. Each round freezes at least one
+// flow, so the pass terminates in at most len(flows) rounds (uniform
+// demands collapse to one or two).
+func (fn *FluidNet) settle() {
+	fn.dirty = false
+	now := fn.sched.Now()
+
+	// Accrue every flow to now at its old rate before changing anything,
+	// and compact out flows that have fully stopped.
+	act := fn.flows[:0]
+	for _, f := range fn.flows {
+		f.accrue(now)
+		if f.active {
+			act = append(act, f)
+		} else {
+			f.listed = false
+		}
+	}
+	fn.flows = act
+
+	for _, d := range fn.dirs {
+		d.load, d.unfrozen, d.sat = 0, 0, false
+	}
+	for _, f := range act {
+		f.rate = 0
+		f.frozen = false
+		for _, d := range f.dirs {
+			d.unfrozen++
+		}
+	}
+
+	unfrozen := len(act)
+	for unfrozen > 0 {
+		// Smallest increment that saturates a direction or satisfies a
+		// demand.
+		inc := math.Inf(1)
+		for _, d := range fn.dirs {
+			if d.unfrozen == 0 || d.cap <= 0 {
+				continue
+			}
+			if h := (d.cap - d.load) / float64(d.unfrozen); h < inc {
+				inc = h
+			}
+		}
+		for _, f := range act {
+			if f.frozen {
+				continue
+			}
+			if h := f.demand - f.rate; h < inc {
+				inc = h
+			}
+		}
+		if inc < 0 || math.IsInf(inc, 1) {
+			inc = 0 // saturated below zero headroom, or all demands met
+		}
+		for _, f := range act {
+			if !f.frozen {
+				f.rate += inc
+			}
+		}
+		for _, d := range fn.dirs {
+			d.load += inc * float64(d.unfrozen)
+			d.sat = d.cap > 0 && d.load >= d.cap*(1-1e-9)
+		}
+		froze := false
+		for _, f := range act {
+			if f.frozen {
+				continue
+			}
+			stop := f.rate >= f.demand*(1-1e-9)
+			if !stop {
+				for _, d := range f.dirs {
+					if d.sat {
+						stop = true
+						break
+					}
+				}
+			}
+			if stop {
+				f.frozen = true
+				froze = true
+				unfrozen--
+				for _, d := range f.dirs {
+					d.unfrozen--
+				}
+			}
+		}
+		if !froze {
+			// Floating-point pathology guard: freeze everything rather
+			// than spin.
+			for _, f := range act {
+				if !f.frozen {
+					f.frozen = true
+					unfrozen--
+				}
+			}
+		}
+	}
+
+	// Push the aggregate loads into the packet tier and retarget any
+	// promoted flows' expanders.
+	for _, d := range fn.dirs {
+		d.link.SetFluidLoad(d.end, d.load)
+	}
+	for _, f := range act {
+		if f.exp != nil {
+			f.exp.SetRate(f.rate)
+		}
+	}
+	fn.settles++
+}
+
+// FluidFlow is a rate process managed by a FluidNet. It satisfies Flow.
+type FluidFlow struct {
+	net    *FluidNet
+	id     int
+	demand float64
+	dirs   []*fluidDir
+
+	rate   float64 // current allocation, bits/s
+	frozen bool    // settle scratch
+
+	active bool
+	listed bool // in the allocator's flow list (drained at settle)
+
+	// Delivered-bit accounting: lazy accrual at the current rate while
+	// fluid, expander byte deltas while promoted.
+	accrued     float64
+	lastAccrual time.Duration
+
+	exp     Expander
+	expBase uint64
+}
+
+// ID returns the flow's creation index (the allocator's iteration
+// order).
+func (f *FluidFlow) ID() int { return f.id }
+
+// Mode implements Flow.
+func (f *FluidFlow) Mode() FlowMode { return FlowFluid }
+
+// Demand returns the flow's offered load in bits/s.
+func (f *FluidFlow) Demand() float64 { return f.demand }
+
+// Rate returns the current max-min allocation in bits/s (zero until the
+// first settle after Start).
+func (f *FluidFlow) Rate() float64 { return f.rate }
+
+// Start activates the flow. Its load joins the allocation at the next
+// epoch boundary. Idempotent.
+func (f *FluidFlow) Start() {
+	if f.active {
+		return
+	}
+	f.active = true
+	f.lastAccrual = f.net.sched.Now()
+	if !f.listed {
+		f.listed = true
+		f.net.flows = append(f.net.flows, f)
+	}
+	f.net.markDirty()
+}
+
+// Stop deactivates the flow; its load leaves the links at the next
+// epoch boundary. A promoted flow's expander stops immediately.
+// Idempotent.
+func (f *FluidFlow) Stop() {
+	if !f.active {
+		return
+	}
+	f.accrue(f.net.sched.Now())
+	if f.exp != nil {
+		f.demoteLocked()
+	}
+	f.active = false
+	f.rate = 0
+	f.net.markDirty()
+}
+
+// Promote expands the flow across a packet-exact region: from now on
+// exp emits real packets at the flow's allocated rate and delivered
+// bytes are read from the packet tier instead of accrued analytically.
+// The flow's fluid path (its hops outside the region) keeps carrying
+// its aggregate load. Promoting an already-promoted flow panics.
+func (f *FluidFlow) Promote(exp Expander) {
+	if f.exp != nil {
+		panic(fmt.Sprintf("traffic: fluid flow %d promoted twice", f.id))
+	}
+	f.accrue(f.net.sched.Now())
+	f.exp = exp
+	f.expBase = exp.DeliveredBytes()
+	exp.SetRate(f.rate)
+	exp.Start()
+}
+
+// Demote collapses the flow back to a pure rate process: the expander's
+// delivered bytes are folded into the flow's total and analytic accrual
+// resumes. No-op if not promoted.
+func (f *FluidFlow) Demote() {
+	if f.exp == nil {
+		return
+	}
+	f.demoteLocked()
+}
+
+func (f *FluidFlow) demoteLocked() {
+	now := f.net.sched.Now()
+	f.accrue(now) // folds expander bytes, resets lastAccrual
+	f.exp.Stop()
+	f.exp = nil
+}
+
+// Promoted reports whether the flow currently drives a packet expander.
+func (f *FluidFlow) Promoted() bool { return f.exp != nil }
+
+// accrue folds delivered bits up to now into the running total: the
+// expander's byte delta while promoted, rate × elapsed while fluid.
+func (f *FluidFlow) accrue(now time.Duration) {
+	if f.exp != nil {
+		cur := f.exp.DeliveredBytes()
+		f.accrued += float64(cur-f.expBase) * 8
+		f.expBase = cur
+	} else if f.active {
+		f.accrued += f.rate * (now - f.lastAccrual).Seconds()
+	}
+	f.lastAccrual = now
+}
+
+// DeliveredBits returns the flow's cumulative delivered traffic in bits
+// up to the scheduler's current time.
+func (f *FluidFlow) DeliveredBits() float64 {
+	f.accrue(f.net.sched.Now())
+	return f.accrued
+}
+
+// DeliveredBytes returns DeliveredBits in bytes, rounded down.
+func (f *FluidFlow) DeliveredBytes() uint64 {
+	return uint64(f.DeliveredBits() / 8)
+}
+
+// UDPExpander adapts a UDPSource/UDPSink pair to the Expander
+// interface, letting a promoted fluid flow drive real datagrams through
+// a packet-exact region and measure what actually arrived.
+type UDPExpander struct {
+	Src  *UDPSource
+	Sink *UDPSink
+}
+
+var _ Expander = (*UDPExpander)(nil)
+
+// NewUDPExpander wires a source and sink into an expander.
+func NewUDPExpander(src *UDPSource, sink *UDPSink) *UDPExpander {
+	return &UDPExpander{Src: src, Sink: sink}
+}
+
+// SetRate implements Expander.
+func (e *UDPExpander) SetRate(bps float64) { e.Src.SetRate(bps) }
+
+// Start implements Expander.
+func (e *UDPExpander) Start() { e.Src.Start() }
+
+// Stop implements Expander.
+func (e *UDPExpander) Stop() { e.Src.Stop() }
+
+// DeliveredBytes implements Expander with the sink's unique payload
+// bytes.
+func (e *UDPExpander) DeliveredBytes() uint64 { return e.Sink.Stats().UniqueBytes }

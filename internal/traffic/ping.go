@@ -48,6 +48,8 @@ type Pinger struct {
 	result   PingResult
 	done     func(PingResult)
 	seq      uint16
+	started  bool
+	stopped  bool
 }
 
 // NewPinger creates a pinger on host toward dst.
@@ -79,15 +81,27 @@ func NewPinger(host *Host, dst packet.Endpoint, cfg PingerConfig) *Pinger {
 // Run starts the sequence; done (optional) fires with the result after
 // the last cycle resolves or times out.
 func (p *Pinger) Run(done func(PingResult)) {
+	if p.started {
+		return
+	}
+	p.started = true
 	p.done = done
 	p.sendNext()
 }
+
+// Start implements Flow: it begins the sequence with no completion
+// callback (use Run to get one). Idempotent while running.
+func (p *Pinger) Start() { p.Run(nil) }
+
+// Stop halts new requests; cycles already in flight still resolve or
+// time out. Idempotent.
+func (p *Pinger) Stop() { p.stopped = true }
 
 // Result returns the result so far.
 func (p *Pinger) Result() PingResult { return p.result }
 
 func (p *Pinger) sendNext() {
-	if p.result.Sent >= p.cfg.Count {
+	if p.stopped || p.result.Sent >= p.cfg.Count {
 		return
 	}
 	p.seq++

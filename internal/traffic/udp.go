@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"encoding/binary"
+	"math"
 	"time"
 
 	"netco/internal/metrics"
@@ -83,6 +84,20 @@ func (s *UDPSource) Stop() {
 	s.running = false
 	s.timer.Stop()
 }
+
+// SetRate retargets the offered load in bits per second mid-run — the
+// hook flow promotion uses to drive a packet expander at the fluid
+// tier's allocation. Negative or NaN rates clamp to zero; the change
+// takes effect from the next pacing tick.
+func (s *UDPSource) SetRate(bps float64) {
+	if bps < 0 || math.IsNaN(bps) {
+		bps = 0
+	}
+	s.cfg.Rate = bps
+}
+
+// Rate returns the current target offered load in bits per second.
+func (s *UDPSource) Rate() float64 { return s.cfg.Rate }
 
 func (s *UDPSource) scheduleTick() {
 	d := s.cfg.TickInterval

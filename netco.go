@@ -414,6 +414,26 @@ func RunScale(p Params, arity int, duration time.Duration) ScaleResult {
 	return experiment.RunScale(p, arity, duration)
 }
 
+// HybridParams sizes one hybrid fluid/packet scenario; HybridResult is
+// its outcome.
+type (
+	HybridParams = experiment.HybridParams
+	HybridResult = experiment.HybridResult
+)
+
+// DefaultHybridParams returns the small smoke configuration of the
+// hybrid engine.
+func DefaultHybridParams() HybridParams { return experiment.DefaultHybridParams() }
+
+// RunHybrid couples a fluid (rate-process) fat-tree fabric with a
+// packet-exact combiner region in one serial simulation: million-flow
+// scenarios at a small fraction of pure-packet event counts, with the
+// compare neighbourhood still simulated frame by frame. The engine
+// behind BENCH_6.json.
+func RunHybrid(p Params, hp HybridParams) HybridResult {
+	return experiment.RunHybrid(p, hp)
+}
+
 // Parallel sweeps (cmd/netco-sweep is the CLI over these).
 type (
 	// ExperimentKind selects a schedulable experiment unit; Run executes
@@ -435,6 +455,7 @@ const (
 	ExperimentUDP    = experiment.KindUDP
 	ExperimentPing   = experiment.KindPing
 	ExperimentJitter = experiment.KindJitter
+	ExperimentHybrid = experiment.KindHybrid
 )
 
 // RunExperiment executes one experiment kind in isolation: a fresh
