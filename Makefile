@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid sweep-smoke hybrid-smoke fuzz fuzz-smoke
+.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid sweep-smoke hybrid-smoke fuzz fuzz-smoke chaos-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
 # the race detector (with scratch poisoning on, so retained engine events
@@ -8,8 +8,8 @@ GO ?= go
 # they exist to run the b.ReportAllocs paths and the AllocsPerRun guards
 # embedded in the test run, not to produce stable timings), an
 # end-to-end parallel sweep smoke run, the hybrid-engine digest-stability
-# smoke, and the scenario-fuzzer smoke.
-check: vet build race bench-guard sweep-smoke hybrid-smoke fuzz-smoke
+# smoke, the scenario-fuzzer smoke, and the chaos-lifecycle smoke.
+check: vet build race bench-guard sweep-smoke hybrid-smoke fuzz-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +65,17 @@ hybrid-smoke:
 fuzz-smoke:
 	$(GO) run ./cmd/netco-fuzz -n 200 -seed 1 -budget 25s
 	$(GO) run ./cmd/netco-fuzz -n 5 -seed 42 -weaken -expect-catch
+
+# chaos-smoke is the availability-fuzzer budget: randomized Byzantine
+# scenarios with timed chaos plans (router crashes, compare restarts,
+# link flaps) through the no-forgery, recovery and determinism oracles,
+# then a replay of the checked-in chaos golden artifact — a crash, a
+# flap train and a compare bounce layered over a drop adversary that
+# must stay violation-free forever.
+chaos-smoke:
+	$(GO) run ./cmd/netco-fuzz -n 100 -seed 7 -chaos -budget 20s
+	$(GO) test ./internal/harness/ -run TestHarnessReplay \
+		-harness.replay=testdata/chaos-recovery.json
 
 # fuzz is the long-running driver: native coverage-guided fuzzing over
 # the scenario generator. Interrupt with ^C; crashers land in

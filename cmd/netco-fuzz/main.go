@@ -12,14 +12,16 @@
 // Usage:
 //
 //	netco-fuzz [-n 200] [-budget 0s] [-seed 1] [-workers 0]
-//	           [-weaken] [-expect-catch] [-artifacts dir] [-json f]
+//	           [-weaken] [-expect-catch] [-chaos] [-artifacts dir] [-json f]
 //
 // -n bounds the scenario count; -budget (when > 0) additionally bounds
 // wall-clock time, stopping after the batch in flight. -weaken switches
 // every scenario to the sabotage configuration (majority threshold one
 // below a strict majority) and -expect-catch inverts the exit logic: the
 // run fails unless the no-forgery oracle fires — the self-test that
-// proves the oracles have teeth.
+// proves the oracles have teeth. -chaos adds a timed fault plan (router
+// crashes, compare restarts, link flaps) to every scenario, arming the
+// recovery oracle alongside no-forgery and determinism.
 package main
 
 import (
@@ -56,6 +58,7 @@ type summary struct {
 	ElapsedMs  int64    `json:"elapsed_ms"`
 	Seed       int64    `json:"seed"`
 	Weaken     bool     `json:"weaken,omitempty"`
+	Chaos      bool     `json:"chaos,omitempty"`
 }
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
@@ -67,6 +70,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		weaken      = fs.Bool("weaken", false, "sabotage mode: weakened compare majority in every scenario")
 		expectCatch = fs.Bool("expect-catch", false, "fail unless the no-forgery oracle fires (use with -weaken)")
+		chaosMode   = fs.Bool("chaos", false, "add a timed fault plan (crashes, restarts, flaps) to every scenario")
 		artifacts   = fs.String("artifacts", "", "directory for minimized counterexample artifacts")
 		jsonPath    = fs.String("json", "", "write the run summary as JSON to this file")
 	)
@@ -77,10 +81,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("-n must be positive")
 	}
 
-	opts := harness.Options{Weaken: *weaken}
+	opts := harness.Options{Weaken: *weaken, Chaos: *chaosMode}
 	rng := sim.NewRNG(*seed)
 	start := time.Now()
-	sum := summary{Seed: *seed, Weaken: *weaken}
+	sum := summary{Seed: *seed, Weaken: *weaken, Chaos: *chaosMode}
 	oracleSeen := make(map[string]bool)
 
 	// Generate-and-check in batches so a -budget can stop between them

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	netco-sweep [-kinds tcp,udp,ping,jitter,hybrid] [-scenarios all|name,...]
+//	netco-sweep [-kinds tcp,udp,ping,jitter,hybrid,chaos] [-scenarios all|name,...]
 //	            [-seeds 1,2,3 | -seeds 1:10] [-trunk-mbps 250,500,1000]
+//	            [-chaos-crashes 0,1,2] [-chaos-flap-ms 0,10,20]
 //	            [-workers n] [-partitions n] [-json f] [-quick] [-full]
 //
 // Every run builds its own scheduler, pools and engines; results are
@@ -20,6 +21,12 @@
 // internal/sim/par). For large grids prefer -workers — per-run
 // isolation scales embarrassingly — and reserve -partitions for grids
 // of a few big runs.
+//
+// The chaos kind measures availability under lifecycle churn; its two
+// grid axes — -chaos-crashes (how many routers cold-crash during the
+// window) and -chaos-flap-ms (trunk-link flap period, 0 = no flapping) —
+// cross with each other and with -trunk-mbps, one variant per
+// combination.
 //
 // The hybrid kind is serial by construction (its fluid allocator and
 // packet-exact region share one scheduler), so -partitions is a no-op
@@ -43,6 +50,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"netco/internal/experiment"
 	"netco/internal/runner"
@@ -63,10 +71,12 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("netco-sweep", flag.ContinueOnError)
 	var (
-		kindsFlag = fs.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter,hybrid)")
+		kindsFlag = fs.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter,hybrid,chaos)")
 		scenFlag  = fs.String("scenarios", "Linespeed,Central3", `scenarios, comma-separated, or "all"`)
 		seedsFlag = fs.String("seeds", "1", `seed list "1,2,3" or range "1:10" (inclusive)`)
 		trunkFlag = fs.String("trunk-mbps", "", "optional trunk-rate grid in Mbit/s (one variant per value)")
+		crashFlag = fs.String("chaos-crashes", "", "optional chaos crash-count grid (one variant per value; chaos kind)")
+		flapFlag  = fs.String("chaos-flap-ms", "", "optional chaos flap-period grid in ms, 0 = no flapping (chaos kind)")
 		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		parts     = fs.Int("partitions", 0, "run each simulation on the parallel engine with this many partitions (0/1 = serial; orthogonal to -workers, which parallelises across runs — results are bit-identical either way)")
 		jsonPath  = fs.String("json", "", "write the full report as JSON to this file")
@@ -99,6 +109,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	base.Partitions = *parts
 	variants, err := parseVariants(*trunkFlag, base)
+	if err != nil {
+		return err
+	}
+	variants, err = expandChaosVariants(variants, *crashFlag, *flapFlag)
 	if err != nil {
 		return err
 	}
@@ -179,7 +193,7 @@ func printReport(w io.Writer, rep runner.Report) {
 // headline picks the run's most informative scalars for the console.
 func headline(m map[string]float64) string {
 	var parts []string
-	for _, key := range []string{"tcp_mbps", "udp_mbps", "udp_loss", "rtt_avg_ms", "jitter_us_128B", "jitter_us_1470B", "fluid_goodput_mbps", "hybrid_event_ratio"} {
+	for _, key := range []string{"tcp_mbps", "udp_mbps", "udp_loss", "rtt_avg_ms", "jitter_us_128B", "jitter_us_1470B", "fluid_goodput_mbps", "hybrid_event_ratio", "delivered_frac", "recovery_ms"} {
 		if v, ok := m[key]; ok {
 			parts = append(parts, fmt.Sprintf("%s=%.3f", key, v))
 		}
@@ -269,4 +283,41 @@ func parseVariants(trunkSpec string, base experiment.Params) ([]runner.Variant, 
 		out = append(out, runner.Variant{Name: fmt.Sprintf("trunk%g", mbps), Params: p})
 	}
 	return out, nil
+}
+
+// expandChaosVariants crosses the churn grids — crash count and flap
+// period — into every existing variant. With neither grid given the
+// variants pass through untouched.
+func expandChaosVariants(in []runner.Variant, crashSpec, flapSpec string) ([]runner.Variant, error) {
+	cross := func(vs []runner.Variant, spec, tag string, apply func(p experiment.Params, v float64) experiment.Params) ([]runner.Variant, error) {
+		if spec == "" {
+			return vs, nil
+		}
+		var out []runner.Variant
+		for _, base := range vs {
+			for _, part := range strings.Split(spec, ",") {
+				val, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if err != nil || val < 0 || math.IsInf(val, 0) {
+					return nil, fmt.Errorf("bad %s value %q (want >= 0)", tag, part)
+				}
+				name := fmt.Sprintf("%s%g", tag, val)
+				if base.Name != "" {
+					name = base.Name + "/" + name
+				}
+				out = append(out, runner.Variant{Name: name, Params: apply(base.Params, val)})
+			}
+		}
+		return out, nil
+	}
+	vs, err := cross(in, crashSpec, "crash", func(p experiment.Params, v float64) experiment.Params {
+		p.ChaosCrashes = int(v)
+		return p
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cross(vs, flapSpec, "flap", func(p experiment.Params, v float64) experiment.Params {
+		p.ChaosFlapPeriod = time.Duration(v * float64(time.Millisecond))
+		return p
+	})
 }

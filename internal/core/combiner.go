@@ -69,11 +69,27 @@ type Combiner struct {
 	Routers []*switching.Switch
 	// Compare is the compare node, nil in Dup and Inline modes.
 	Compare *CompareNode
+	// RouterLinks[i] holds router i's two trunk links — [RouterPortLeft]
+	// toward Left, [RouterPortRight] toward Right — exposed so
+	// fault-injection layers can flap them.
+	RouterLinks [][2]*netem.Link
 	// Middleboxes holds the two inline compares (Inline mode only),
 	// indexed like the edges: 0 behind Left, 1 behind Right.
 	Middleboxes [2]*Middlebox
 	// K is the parallelism.
 	K int
+
+	// routes and broadcast record the proactively installed rules, so a
+	// router coming back from a cold restart can be repopulated — the
+	// combiner is the routers' control plane (they have no controller).
+	routes    []routeRecord
+	broadcast bool
+}
+
+// routeRecord is one InstallRoute call, replayed on router restart.
+type routeRecord struct {
+	mac  packet.MAC
+	side Side
 }
 
 // RouterPortLeft and RouterPortRight are the port indices a combiner
@@ -127,8 +143,9 @@ func Build(net *netem.Network, spec CombinerSpec, newRouter func(i int) *switchi
 		net.Add(r)
 		c.Routers = append(c.Routers, r)
 		edgePort := 1 + i
-		net.Connect(c.Left, edgePort, r, RouterPortLeft, spec.RouterLink)
-		net.Connect(c.Right, edgePort, r, RouterPortRight, spec.RouterLink)
+		ll := net.Connect(c.Left, edgePort, r, RouterPortLeft, spec.RouterLink)
+		lr := net.Connect(c.Right, edgePort, r, RouterPortRight, spec.RouterLink)
+		c.RouterLinks = append(c.RouterLinks, [2]*netem.Link{ll, lr})
 		c.Left.AddRouterPort(edgePort, i)
 		c.Right.AddRouterPort(edgePort, i)
 	}
@@ -207,34 +224,60 @@ func (c *Combiner) AttachHost(net *netem.Network, side Side, host netem.Node, ho
 // the proactively installed rules of the prototype ("the only matched
 // header field is the MAC destination address", §IV).
 func (c *Combiner) InstallRoute(mac packet.MAC, side Side) {
+	c.routes = append(c.routes, routeRecord{mac: mac, side: side})
+	for _, r := range c.Routers {
+		c.installRouteOn(r, mac, side)
+	}
+}
+
+func (c *Combiner) installRouteOn(r *switching.Switch, mac packet.MAC, side Side) {
 	out := uint16(RouterPortLeft)
 	if side == SideRight {
 		out = uint16(RouterPortRight)
 	}
-	for _, r := range c.Routers {
-		r.Table().Add(&openflow.FlowEntry{
-			Priority: 100,
-			Match:    openflow.MatchAll().WithDlDst(mac),
-			Actions:  []openflow.Action{openflow.Output(out)},
-		})
-	}
+	r.Table().Add(&openflow.FlowEntry{
+		Priority: 100,
+		Match:    openflow.MatchAll().WithDlDst(mac),
+		Actions:  []openflow.Action{openflow.Output(out)},
+	})
 }
 
 // InstallBroadcastRoutes makes the combiner transparent to broadcast
 // frames (ARP in particular): every router forwards broadcasts received
 // from one edge out toward the other.
 func (c *Combiner) InstallBroadcastRoutes() {
+	c.broadcast = true
 	for _, r := range c.Routers {
-		r.Table().Add(&openflow.FlowEntry{
-			Priority: 90,
-			Match:    openflow.MatchAll().WithDlDst(packet.Broadcast).WithInPort(RouterPortLeft),
-			Actions:  []openflow.Action{openflow.Output(RouterPortRight)},
-		})
-		r.Table().Add(&openflow.FlowEntry{
-			Priority: 90,
-			Match:    openflow.MatchAll().WithDlDst(packet.Broadcast).WithInPort(RouterPortRight),
-			Actions:  []openflow.Action{openflow.Output(RouterPortLeft)},
-		})
+		c.installBroadcastOn(r)
+	}
+}
+
+func (c *Combiner) installBroadcastOn(r *switching.Switch) {
+	r.Table().Add(&openflow.FlowEntry{
+		Priority: 90,
+		Match:    openflow.MatchAll().WithDlDst(packet.Broadcast).WithInPort(RouterPortLeft),
+		Actions:  []openflow.Action{openflow.Output(RouterPortRight)},
+	})
+	r.Table().Add(&openflow.FlowEntry{
+		Priority: 90,
+		Match:    openflow.MatchAll().WithDlDst(packet.Broadcast).WithInPort(RouterPortRight),
+		Actions:  []openflow.Action{openflow.Output(RouterPortLeft)},
+	})
+}
+
+// RestartRouter powers router i back up after a crash and replays every
+// recorded proactive rule onto its empty table — the combiner acting as
+// the routers' control plane, the way the prototype's operator pre-loads
+// the r_i. A router with its own controller connection instead re-learns
+// through the re-run handshake; the replay here is idempotent on top.
+func (c *Combiner) RestartRouter(i int) {
+	r := c.Routers[i]
+	r.Restart()
+	for _, rec := range c.routes {
+		c.installRouteOn(r, rec.mac, rec.side)
+	}
+	if c.broadcast {
+		c.installBroadcastOn(r)
 	}
 }
 

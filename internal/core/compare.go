@@ -60,6 +60,11 @@ type CompareStats struct {
 	Blocks uint64
 	// Alarms counts alarms raised.
 	Alarms uint64
+	// DownDrops counts copies that arrived while the node was crashed.
+	DownDrops uint64
+	// Crashes and Restarts count lifecycle transitions.
+	Crashes  uint64
+	Restarts uint64
 }
 
 // CompareNode is the compare element deployed in the data plane, attached
@@ -98,6 +103,12 @@ type CompareNode struct {
 
 	stats      CompareStats
 	sweepTimer sim.Timer
+
+	// down is the crash state; flushed accumulates the engine counters of
+	// directions whose caches a restart discarded, so EngineStats stays an
+	// observation of the whole run.
+	down    bool
+	flushed Stats
 }
 
 var _ netem.Node = (*CompareNode)(nil)
@@ -129,21 +140,25 @@ func (c *CompareNode) Ports() *netem.Ports { return &c.ports }
 // Stats returns node-level counters.
 func (c *CompareNode) Stats() CompareStats { return c.stats }
 
-// EngineStats returns the merged engine counters across directions.
+// EngineStats returns the merged engine counters across directions,
+// including those of cache generations flushed by a restart.
 func (c *CompareNode) EngineStats() Stats {
-	var total Stats
+	total := c.flushed
 	for _, e := range c.engines {
-		s := e.Stats()
-		total.Ingested += s.Ingested
-		total.Released += s.Released
-		total.LateCopies += s.LateCopies
-		total.Suppressed += s.Suppressed
-		total.DoSFlagged += s.DoSFlagged
-		total.Detections += s.Detections
-		total.CleanupPasses += s.CleanupPasses
-		total.CleanupScanned += s.CleanupScanned
+		addEngineStats(&total, e.Stats())
 	}
 	return total
+}
+
+func addEngineStats(total *Stats, s Stats) {
+	total.Ingested += s.Ingested
+	total.Released += s.Released
+	total.LateCopies += s.LateCopies
+	total.Suppressed += s.Suppressed
+	total.DoSFlagged += s.DoSFlagged
+	total.Detections += s.Detections
+	total.CleanupPasses += s.CleanupPasses
+	total.CleanupScanned += s.CleanupScanned
 }
 
 // RegisterEdge associates an edge with the node port of the same index so
@@ -158,6 +173,48 @@ func (c *CompareNode) Close() {
 	c.sweepTimer.Stop()
 	c.sweepTimer = sim.Timer{}
 }
+
+// Crash models the compare process dying: copies arriving while down are
+// dropped, everything queued for the CPU dies with it, and the periodic
+// expiry sweep stops. The match caches are flushed on Restart, not here —
+// a dead process holds no state either way, but flushing late keeps the
+// engine counters intact until they are folded into the run totals.
+func (c *CompareNode) Crash() {
+	if c.down {
+		return
+	}
+	c.down = true
+	c.stats.Crashes++
+	c.proc.Reset()
+	for i := range c.backlog {
+		c.backlog[i] = 0
+	}
+	c.sweepTimer.Stop()
+	c.sweepTimer = sim.Timer{}
+}
+
+// Restart brings the compare back with flushed caches: every direction's
+// engine — held copies, match state, DoS counters — is discarded and will
+// be recreated empty on first ingest (counters are folded into the run
+// totals first), the per-router quotas are clear, and the expiry sweep
+// re-arms. Packets whose copies died in the flush are simply lost; the
+// sources retransmit, which is the recovery the availability oracles
+// measure.
+func (c *CompareNode) Restart() {
+	if !c.down {
+		return
+	}
+	c.down = false
+	c.stats.Restarts++
+	for id, eng := range c.engines {
+		addEngineStats(&c.flushed, eng.Stats())
+		delete(c.engines, id)
+	}
+	c.scheduleSweep()
+}
+
+// IsDown reports whether the node is crashed.
+func (c *CompareNode) IsDown() bool { return c.down }
 
 func (c *CompareNode) scheduleSweep() {
 	c.sweepTimer = c.sched.After(c.cfg.SweepInterval, func() {
@@ -208,6 +265,11 @@ func (c *CompareNode) engineFor(edgeID int) *Engine {
 // and the counter exactly tracks copies in flight. CompareNodeQuota tests
 // pin this down.
 func (c *CompareNode) Receive(port int, frame *packet.Packet) {
+	if c.down {
+		c.stats.DownDrops++
+		packet.Recycle(frame)
+		return
+	}
 	inPort, _, err := decapPacketIn(frame)
 	if err != nil {
 		return

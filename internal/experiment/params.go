@@ -89,6 +89,16 @@ type Params struct {
 	JitterRate  float64 // offered load for the Fig. 8 sweep
 	Seed        int64
 
+	// Churn knobs (KindChaos): ChaosCrashes routers cold-crash staggered
+	// across the window, each down for ChaosCrashDown; ChaosFlapPeriod
+	// > 0 flaps one trunk link at half duty for ChaosFlapCycles;
+	// ChaosCompareRestart bounces the compare once mid-window.
+	ChaosCrashes        int
+	ChaosCrashDown      time.Duration
+	ChaosFlapPeriod     time.Duration
+	ChaosFlapCycles     int
+	ChaosCompareRestart bool
+
 	// Partitions > 1 runs each testbed on the parallel engine with that
 	// many domains (bit-identical to serial; see internal/sim/par).
 	// Workers bounds the engine's goroutines (0 = GOMAXPROCS).
@@ -131,6 +141,11 @@ func DefaultParams() Params {
 		PingSeqs:    3,
 		JitterRate:  20e6,
 		Seed:        1,
+
+		ChaosCrashes:    1,
+		ChaosCrashDown:  40 * time.Millisecond,
+		ChaosFlapPeriod: 0,
+		ChaosFlapCycles: 3,
 	}
 }
 

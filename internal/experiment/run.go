@@ -32,10 +32,15 @@ const (
 	// region is always a Central3 combiner — and the unit is serial by
 	// construction, so Params.Partitions does not apply.
 	KindHybrid
+	// KindChaos measures availability under lifecycle churn: a UDP
+	// stream through the scenario while routers crash and restart, a
+	// trunk link flaps and (optionally) the compare bounces, plus the
+	// recovery latency after the last heal (see RunChaos).
+	KindChaos
 )
 
 // AllKinds lists every schedulable kind.
-var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter, KindHybrid}
+var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter, KindHybrid, KindChaos}
 
 // String names the kind for CLIs and artifacts.
 func (k Kind) String() string {
@@ -50,6 +55,8 @@ func (k Kind) String() string {
 		return "jitter"
 	case KindHybrid:
 		return "hybrid"
+	case KindChaos:
+		return "chaos"
 	}
 	return "unknown"
 }
@@ -61,7 +68,7 @@ func ParseKind(name string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping, jitter or hybrid)", name)
+	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping, jitter, hybrid or chaos)", name)
 }
 
 // ParseScenario resolves a paper scenario name (case-insensitive).
@@ -184,6 +191,24 @@ func Run(k Kind, p Params, s Scenario, seed int64) Result {
 		good.Add(hr.FluidDeliveredBits / hp.Duration.Seconds() / 1e6)
 		res.addSummary("fluid_goodput_mbps", good)
 		res.Hists = hr.Hists
+	case KindChaos:
+		cr := RunChaos(p, s)
+		res.setMetric("chaos_sent", float64(cr.Sent))
+		res.setMetric("chaos_delivered", float64(cr.Delivered))
+		res.setMetric("chaos_dups", float64(cr.Dups))
+		res.setMetric("delivered_frac", cr.DeliveredFrac)
+		res.setMetric("chaos_crashes", float64(cr.Crashes))
+		res.setMetric("chaos_flap_cycles", float64(cr.FlapCycles))
+		res.setMetric("last_heal_ms", cr.LastHeal.Seconds()*1e3)
+		if cr.Recovered {
+			res.setMetric("recovery_ms", cr.Recovery.Seconds()*1e3)
+			var rec metrics.Summary
+			rec.Add(cr.Recovery.Seconds() * 1e3)
+			res.addSummary("recovery_ms", rec)
+		}
+		var frac metrics.Summary
+		frac.Add(cr.DeliveredFrac)
+		res.addSummary("delivered_frac", frac)
 	default:
 		panic(fmt.Sprintf("experiment: unknown Kind %d", k))
 	}

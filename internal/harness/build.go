@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"netco/internal/adversary"
+	"netco/internal/chaos"
 	"netco/internal/core"
 	"netco/internal/netem"
 	"netco/internal/openflow"
@@ -181,12 +182,48 @@ func buildFabric(sc Scenario, partitions int) *fabric {
 	default:
 		buildTestbedFabric(f, sc)
 	}
+	f.scheduleChaos(sc)
 	if eng != nil {
 		// Every harness link has propDelay > 0, so the lookahead is
 		// always positive.
 		eng.SetLookahead(f.net.MinCrossDelay())
 	}
 	return f
+}
+
+// scheduleChaos arms the scenario's fault plan during single-threaded
+// setup. Each action gets a positional target wired to its node or link;
+// the transitions themselves execute later, as timed events on the
+// target's own scheduler (see internal/chaos), so chaotic runs stay
+// race-free and bit-identical under the partitioned engine.
+func (f *fabric) scheduleChaos(sc Scenario) {
+	if len(sc.Chaos) == 0 {
+		return
+	}
+	reg := chaos.Registry{}
+	for i, a := range sc.Chaos {
+		name := fmt.Sprintf("chaos%d", i)
+		switch a.Kind {
+		case ChaosRouterCrash:
+			ci, ri := a.Router/sc.K, a.Router%sc.K
+			comb := f.combs[ci]
+			sw := comb.Routers[ri]
+			// Restart goes through the combiner, which replays the
+			// proactively installed rules onto the cold table.
+			reg[name] = chaos.NodeTarget(f.schedOf(sw.Name()), sw.Crash,
+				func() { comb.RestartRouter(ri) })
+		case ChaosCompareCrash:
+			cn := f.combs[a.Combiner].Compare
+			reg[name] = chaos.NodeTarget(f.schedOf(cn.Name()), cn.Crash, cn.Restart)
+		case ChaosLinkFlap:
+			ci, ri := a.Router/sc.K, a.Router%sc.K
+			reg[name] = chaos.LinkTarget(f.combs[ci].RouterLinks[ri][a.Side])
+		}
+	}
+	if err := sc.chaosPlan().Schedule(reg); err != nil {
+		// Validate accepted the scenario before the fabric was built.
+		panic(err)
+	}
 }
 
 func (f *fabric) hostLink() netem.LinkConfig {

@@ -1,0 +1,268 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"netco/internal/sim"
+)
+
+// TestChaosLifecycleClean runs each chaos kind through the full oracle
+// stack on an otherwise healthy fabric: no oracle may fire, the recovery
+// probe must come back, and the paper's availability claim holds under
+// churn — a k=3 combiner masks a single router crash completely, while a
+// compare outage (the shared component) loses exactly its window.
+func TestChaosLifecycleClean(t *testing.T) {
+	udp := Flow{Kind: FlowUDP, RateMbps: 10, PayloadSize: 256}
+	cases := []struct {
+		name     string
+		k        int
+		topology string
+		chaos    []ChaosAction
+		// wantFull: the UDP flow must be delivered in full despite the
+		// faults (majority masking); wantLoss: it must lose part of the
+		// window (shared-component outage) but keep flowing.
+		wantFull bool
+		wantLoss bool
+	}{
+		{
+			name: "router-crash-masked", k: 3, topology: TopoTestbed,
+			chaos:    []ChaosAction{{Kind: ChaosRouterCrash, Router: 1, AtMs: 20, DownMs: 40}},
+			wantFull: true,
+		},
+		{
+			name: "compare-crash-window-lost", k: 3, topology: TopoTestbed,
+			chaos:    []ChaosAction{{Kind: ChaosCompareCrash, Combiner: 0, AtMs: 30, DownMs: 20}},
+			wantLoss: true,
+		},
+		{
+			name: "link-flap-detect-only", k: 2, topology: TopoTestbed,
+			chaos: []ChaosAction{{Kind: ChaosLinkFlap, Router: 0, Side: 1, AtMs: 10, DownMs: 10, Cycles: 3, PeriodMs: 25}},
+			// k=2 releases on the first copy, so the surviving router
+			// carries the stream through every flap.
+			wantFull: true,
+		},
+		{
+			name: "chain-mixed-faults", k: 3, topology: TopoChain,
+			chaos: []ChaosAction{
+				{Kind: ChaosRouterCrash, Router: 4, AtMs: 10, DownMs: 30},
+				{Kind: ChaosLinkFlap, Router: 0, Side: 0, AtMs: 20, DownMs: 10, Cycles: 2, PeriodMs: 30},
+			},
+			wantFull: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sc := Scenario{
+				Seed:      5,
+				Topology:  tc.topology,
+				K:         tc.k,
+				TrunkMbps: 1000,
+				Flows:     []Flow{udp, {Kind: FlowPing, Count: 3, Reverse: true}},
+				Chaos:     tc.chaos,
+			}
+			res, err := Check(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("chaos run violated oracles: %+v", res.Violations)
+			}
+			rec := res.Obs.Recovery
+			if rec == nil {
+				t.Fatal("chaos run recorded no recovery observation")
+			}
+			if rec.ProbeReceived == 0 {
+				t.Fatalf("recovery probe got no echoes: %+v", rec)
+			}
+			fo := res.Obs.Flows[0]
+			if fo.Sent == 0 {
+				t.Fatal("udp flow sent nothing; case is vacuous")
+			}
+			if tc.wantFull && fo.Received != fo.Sent {
+				t.Errorf("udp delivered %d of %d — faults should have been masked", fo.Received, fo.Sent)
+			}
+			if tc.wantLoss && (fo.Received == 0 || fo.Received >= fo.Sent) {
+				t.Errorf("udp delivered %d of %d — want partial loss from the outage window", fo.Received, fo.Sent)
+			}
+			if fo.Dups != 0 {
+				t.Errorf("udp saw %d duplicates across the faults", fo.Dups)
+			}
+		})
+	}
+}
+
+// TestChaosAdversaryChurn pits a compromised router against lifecycle
+// churn on the others: no-forgery must hold throughout — crashes and
+// flaps never let a minority frame out of the compare.
+func TestChaosAdversaryChurn(t *testing.T) {
+	sc := Scenario{
+		Seed:      17,
+		Topology:  TopoTestbed,
+		K:         3,
+		TrunkMbps: 1000,
+		Flows: []Flow{
+			{Kind: FlowUDP, RateMbps: 10, PayloadSize: 256},
+			{Kind: FlowTCP, KiB: 16, Reverse: true},
+		},
+		Adversaries: []Adversary{{Router: 0, Chain: []Atom{{Kind: AtomModify, Rewrite: "tos"}}}},
+		Chaos: []ChaosAction{
+			{Kind: ChaosRouterCrash, Router: 1, AtMs: 20, DownMs: 20},
+			{Kind: ChaosCompareCrash, Combiner: 0, AtMs: 60, DownMs: 10},
+		},
+	}
+	res, err := Check(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("adversary-under-churn violated oracles: %+v", res.Violations)
+	}
+	if res.Obs.Activity == 0 {
+		t.Fatal("adversary never acted; churn case is vacuous")
+	}
+	if res.Obs.Recovery == nil || res.Obs.Recovery.ProbeReceived == 0 {
+		t.Fatalf("fabric did not recover: %+v", res.Obs.Recovery)
+	}
+}
+
+// TestChaosParallelByteIdentical is the chaos leg of the differential
+// determinism suite: fault-injected scenarios executed serially and on
+// the partitioned engine (4 domains) must produce byte-identical
+// observations and identical violations. Run with -race to check that
+// every chaos transition stays inside its target's domain.
+func TestChaosParallelByteIdentical(t *testing.T) {
+	scenarios := map[string]Scenario{
+		"testbed-all-kinds": {
+			Seed: 23, Topology: TopoTestbed, K: 3, TrunkMbps: 1000,
+			Flows: []Flow{
+				{Kind: FlowUDP, RateMbps: 10, PayloadSize: 256},
+				{Kind: FlowPing, Count: 3, Reverse: true},
+			},
+			Adversaries: []Adversary{{Router: 2, Chain: []Atom{{Kind: AtomDrop, Probability: 0.5}}}},
+			Chaos: []ChaosAction{
+				{Kind: ChaosRouterCrash, Router: 0, AtMs: 15, DownMs: 25},
+				{Kind: ChaosLinkFlap, Router: 1, Side: 1, AtMs: 30, DownMs: 10, Cycles: 2, PeriodMs: 30},
+				{Kind: ChaosCompareCrash, Combiner: 0, AtMs: 70, DownMs: 15},
+			},
+		},
+		"chain-cross-domain": {
+			Seed: 29, Topology: TopoChain, K: 2, TrunkMbps: 500,
+			Flows: []Flow{{Kind: FlowUDP, RateMbps: 20, PayloadSize: 512}},
+			Chaos: []ChaosAction{
+				{Kind: ChaosRouterCrash, Router: 3, AtMs: 10, DownMs: 30},
+				{Kind: ChaosLinkFlap, Router: 0, Side: 0, AtMs: 25, DownMs: 15, Cycles: 2, PeriodMs: 40},
+			},
+		},
+	}
+	for name, sc := range scenarios {
+		name, sc := name, sc
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := Execute(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ExecuteP(sc, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Obs.CanonicalJSON(), ref.Obs.CanonicalJSON()) {
+				t.Errorf("partitions=4 diverged from serial\n got: %s\nwant: %s",
+					got.Obs.CanonicalJSON(), ref.Obs.CanonicalJSON())
+			}
+			if fmt.Sprintf("%+v", got.Violations) != fmt.Sprintf("%+v", ref.Violations) {
+				t.Errorf("violations diverged\n got: %+v\nwant: %+v", got.Violations, ref.Violations)
+			}
+		})
+	}
+}
+
+// TestChaosValidation pins the genome guard rails.
+func TestChaosValidation(t *testing.T) {
+	base := Scenario{
+		Seed: 1, Topology: TopoTestbed, K: 3, TrunkMbps: 1000,
+		Flows: []Flow{{Kind: FlowPing, Count: 3}},
+	}
+	valid := base
+	valid.Chaos = []ChaosAction{{Kind: ChaosLinkFlap, Router: 2, Side: 1, AtMs: 0, DownMs: 5, Cycles: 5, PeriodMs: 20}}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid chaos rejected: %v", err)
+	}
+	bad := []ChaosAction{
+		{Kind: "meteor-strike", AtMs: 0, DownMs: 5},
+		{Kind: ChaosRouterCrash, Router: 3, AtMs: 0, DownMs: 5},
+		{Kind: ChaosCompareCrash, Combiner: 1, AtMs: 0, DownMs: 5},
+		{Kind: ChaosLinkFlap, Router: 0, Side: 2, AtMs: 0, DownMs: 5},
+		{Kind: ChaosRouterCrash, Router: 0, AtMs: -1, DownMs: 5},
+		{Kind: ChaosRouterCrash, Router: 0, AtMs: 0, DownMs: 0},
+		{Kind: ChaosLinkFlap, Router: 0, AtMs: 0, DownMs: 10, Cycles: 2, PeriodMs: 10},
+		{Kind: ChaosLinkFlap, Router: 0, AtMs: 0, DownMs: 10, Cycles: 6, PeriodMs: 30},
+		{Kind: ChaosRouterCrash, Router: 0, AtMs: 100, DownMs: 30}, // heals at 130ms > bound
+	}
+	for i, ca := range bad {
+		sc := base
+		sc.Chaos = []ChaosAction{ca}
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad chaos action %d validated: %+v", i, ca)
+		}
+	}
+	sc := base
+	for i := 0; i < 5; i++ {
+		sc.Chaos = append(sc.Chaos, ChaosAction{Kind: ChaosRouterCrash, Router: 0, AtMs: 0, DownMs: 5})
+	}
+	if err := sc.Validate(); err == nil {
+		t.Error("five chaos actions validated, want cap at four")
+	}
+}
+
+// TestChaosGeneratorValid: every generated chaos scenario passes Validate
+// and actually carries a plan.
+func TestChaosGeneratorValid(t *testing.T) {
+	rng := sim.NewRNG(31)
+	for i := 0; i < 300; i++ {
+		sc := Generate(rng, Options{Chaos: true})
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("chaos scenario %d invalid: %v\n%+v", i, err, sc)
+		}
+		if len(sc.Chaos) == 0 {
+			t.Fatalf("chaos scenario %d has no chaos actions", i)
+		}
+	}
+}
+
+// TestChaosShrinkDropsIrrelevantActions: when the violation is caused by
+// a weakened majority, not by the faults, the shrinker must strip the
+// chaos actions from the counterexample.
+func TestChaosShrinkDropsIrrelevantActions(t *testing.T) {
+	sc := Scenario{
+		Seed: 13, Topology: TopoTestbed, K: 3, TrunkMbps: 1000,
+		Flows:          []Flow{{Kind: FlowUDP, RateMbps: 10, PayloadSize: 256}},
+		Adversaries:    []Adversary{{Router: 0, Chain: []Atom{{Kind: AtomModify, Rewrite: "tos"}}}},
+		WeakenMajority: true,
+		Chaos: []ChaosAction{
+			{Kind: ChaosLinkFlap, Router: 1, Side: 0, AtMs: 20, DownMs: 10},
+			{Kind: ChaosCompareCrash, Combiner: 0, AtMs: 60, DownMs: 10},
+		},
+	}
+	res, err := Check(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasForgery := false
+	for _, o := range res.Oracles() {
+		if o == OracleNoForgery {
+			hasForgery = true
+		}
+	}
+	if !hasForgery {
+		t.Fatalf("weakened scenario under churn did not trip no-forgery: %+v", res.Violations)
+	}
+	min := Shrink(sc, []string{OracleNoForgery}, 40)
+	if len(min.Chaos) != 0 {
+		t.Errorf("shrunk counterexample keeps %d chaos actions, want 0", len(min.Chaos))
+	}
+}

@@ -31,6 +31,9 @@ type Observation struct {
 	// TraceDigests fingerprints router 0's transmission trace in each
 	// combiner (the trace-artifact half of the determinism oracle).
 	TraceDigests []string `json:"trace_digests"`
+	// Recovery reports the post-chaos liveness probe (chaos scenarios
+	// only).
+	Recovery *RecoveryObs `json:"recovery,omitempty"`
 	// Activity sums every adversary counter; DetectableActivity only the
 	// counters of behaviors that provably leave a compare-visible trace
 	// (see detection oracle notes in oracle.go).
@@ -72,6 +75,15 @@ type FlowObs struct {
 	Done     bool   `json:"done,omitempty"`
 }
 
+// RecoveryObs is the outcome of the recovery probe: pings launched a
+// grace period after the chaos plan's last heal.
+type RecoveryObs struct {
+	// LastHealMs is the final heal instant, window-relative.
+	LastHealMs    int64  `json:"last_heal_ms"`
+	ProbeSent     uint64 `json:"probe_sent"`
+	ProbeReceived uint64 `json:"probe_received"`
+}
+
 // Violation is one oracle failure.
 type Violation struct {
 	Oracle string `json:"oracle"`
@@ -84,6 +96,7 @@ const (
 	OracleDetection   = "detection"
 	OracleNoForgery   = "no-forgery"
 	OracleDeterminism = "determinism"
+	OracleRecovery    = "recovery"
 )
 
 // RunResult is one execution's outcome: the observation plus the
@@ -201,8 +214,14 @@ func ExecuteP(sc Scenario, partitions int) (RunResult, error) {
 		}
 	}
 
-	// Traffic.
+	// Traffic, plus the recovery probe when the scenario injects faults.
 	flows := startFlows(f, sc)
+	var probe *traffic.Pinger
+	var lastHeal time.Duration
+	if len(sc.Chaos) > 0 {
+		lastHeal = sc.chaosPlan().LastRecovery()
+		probe = startRecoveryProbe(f, lastHeal)
+	}
 
 	// Run the fixed timeline to quiescence.
 	f.runner.RunUntil(settleTime + windowTime + drainTime)
@@ -244,14 +263,59 @@ func ExecuteP(sc Scenario, partitions int) (RunResult, error) {
 	res.Obs.Flows = flows.observe()
 	res.Obs.Activity, res.Obs.DetectableActivity = activity(f, sc)
 
-	// Single-run oracles beyond no-forgery: detection (Theorem 2).
-	if sc.K == 2 && res.Obs.DetectableActivity > 0 && len(res.Obs.Alarms) == 0 {
+	// Single-run oracles beyond no-forgery: detection (Theorem 2) —
+	// skipped under chaos, where an outage window can legitimately swallow
+	// the interference evidence before the compare sees it.
+	if sc.K == 2 && len(sc.Chaos) == 0 && res.Obs.DetectableActivity > 0 && len(res.Obs.Alarms) == 0 {
 		res.Violations = append(res.Violations, Violation{
 			Oracle: OracleDetection,
 			Detail: fmt.Sprintf("k=2 adversary interfered with %d packets but no alarm fired", res.Obs.DetectableActivity),
 		})
 	}
+
+	// Recovery: after the last heal the fabric must carry traffic again.
+	if probe != nil {
+		r := probe.Result()
+		res.Obs.Recovery = &RecoveryObs{
+			LastHealMs:    int64((lastHeal - settleTime) / time.Millisecond),
+			ProbeSent:     uint64(r.Sent),
+			ProbeReceived: uint64(r.Received),
+		}
+		if r.Received == 0 {
+			res.Violations = append(res.Violations, Violation{
+				Oracle: OracleRecovery,
+				Detail: fmt.Sprintf("no probe echo returned after the last heal at %v — the fabric did not recover", lastHeal),
+			})
+		}
+	}
 	return res, nil
+}
+
+// Recovery probe timing: the probe starts a grace period after the last
+// heal (re-handshakes and rule replay settle in microseconds; the grace
+// absorbs them with margin) and its last timeout expires well inside the
+// drain for every plan Validate accepts.
+const (
+	recoveryGrace    = 5 * time.Millisecond
+	recoveryProbes   = 3
+	recoveryInterval = 5 * time.Millisecond
+	recoveryTimeout  = 30 * time.Millisecond
+	// recoveryProbeID keeps the probe's ICMP stream clear of scenario ping
+	// flows (IDs 1..16).
+	recoveryProbeID = 0x7e57
+)
+
+// startRecoveryProbe schedules the post-chaos liveness probe during
+// single-threaded setup, on h1's own scheduler.
+func startRecoveryProbe(f *fabric, lastHeal time.Duration) *traffic.Pinger {
+	p := traffic.NewPinger(f.h1, f.h2.Endpoint(0), traffic.PingerConfig{
+		Count:    recoveryProbes,
+		Interval: recoveryInterval,
+		Timeout:  recoveryTimeout,
+		ID:       recoveryProbeID,
+	})
+	f.schedOf("h1").After(lastHeal+recoveryGrace, func() { p.Run(nil) })
+	return p
 }
 
 // normalizedDigest fingerprints a released frame with the IP ID zeroed

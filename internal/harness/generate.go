@@ -16,6 +16,10 @@ type Options struct {
 	// that put frames on the wire no honest router emits), so a correct
 	// no-forgery oracle must fire.
 	Weaken bool
+	// Chaos makes every scenario carry a timed fault plan — router
+	// crashes, compare restarts, link flaps — alongside whatever
+	// adversaries roll, arming the recovery oracle.
+	Chaos bool
 	// Topologies restricts the topology pool (default: all three).
 	Topologies []string
 }
@@ -65,7 +69,40 @@ func Generate(rng *sim.RNG, opts Options) Scenario {
 		// majority a single compromised router's frames release unopposed.
 		sc.Adversaries = ensureForger(rng, sc.Adversaries, sc.K)
 	}
+	if opts.Chaos {
+		sc.Chaos = genChaos(rng, sc)
+	}
 	return sc
+}
+
+// genChaos draws one or two timed faults. The magnitude pools keep the
+// last heal inside the Validate bound by construction: worst case is
+// at=40 with two 20 ms-down cycles at a 40 ms period, healing at 100 ms.
+func genChaos(rng *sim.RNG, sc Scenario) []ChaosAction {
+	n := 1 + rng.Intn(2)
+	out := make([]ChaosAction, 0, n)
+	for i := 0; i < n; i++ {
+		a := ChaosAction{
+			AtMs:   pickI(rng, 10, 20, 40),
+			DownMs: pickI(rng, 10, 20),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			a.Kind = ChaosRouterCrash
+			a.Router = rng.Intn(sc.Combiners() * sc.K)
+		case 1:
+			a.Kind = ChaosCompareCrash
+			a.Combiner = rng.Intn(sc.Combiners())
+		default:
+			a.Kind = ChaosLinkFlap
+			a.Router = rng.Intn(sc.Combiners() * sc.K)
+			a.Side = rng.Intn(2)
+			a.Cycles = 1 + rng.Intn(2)
+			a.PeriodMs = 2 * a.DownMs
+		}
+		out = append(out, a)
+	}
+	return out
 }
 
 func genFlow(rng *sim.RNG) Flow {

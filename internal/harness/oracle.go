@@ -44,7 +44,12 @@ func (r CheckResult) Oracles() []string {
 //
 // Masking is skipped when WeakenMajority is set — the hook deliberately
 // breaks the release rule, and the interesting verdict there is
-// no-forgery catching the forged releases.
+// no-forgery catching the forged releases. It is likewise skipped for
+// chaos scenarios: outage windows drop honest traffic, and adversarial
+// timing shifts *which* packets are in flight when a window opens, so the
+// adversarial egress need not equal the honest twin's. Under churn the
+// enforced claims are no-forgery, recovery (decided inside Execute) and
+// determinism.
 func Check(sc Scenario) (CheckResult, error) {
 	res := CheckResult{Scenario: sc}
 	r1, err := Execute(sc)
@@ -76,7 +81,7 @@ func Check(sc Scenario) (CheckResult, error) {
 		})
 	}
 
-	if sc.K == 3 && !sc.WeakenMajority {
+	if sc.K == 3 && !sc.WeakenMajority && len(sc.Chaos) == 0 {
 		honest := sc
 		honest.Adversaries = nil
 		rh, err := Execute(honest)

@@ -24,6 +24,9 @@ package harness
 
 import (
 	"fmt"
+	"time"
+
+	"netco/internal/chaos"
 )
 
 // Topology names.
@@ -45,6 +48,26 @@ const (
 	FlowUDP  = "udp"
 	FlowTCP  = "tcp"
 )
+
+// Chaos action kinds — one per lifecycle fault.
+const (
+	// ChaosRouterCrash cold-crashes a router (flow table, pipeline and
+	// ingress blocks lost) and restarts it with its proactive rules
+	// replayed by the combiner.
+	ChaosRouterCrash = "router-crash"
+	// ChaosCompareCrash crashes the compare node and restarts it with
+	// every engine cache flushed.
+	ChaosCompareCrash = "compare-crash"
+	// ChaosLinkFlap toggles one edge↔router trunk link administratively
+	// down and back up, optionally for several cycles.
+	ChaosLinkFlap = "link-flap"
+)
+
+// chaosHealBoundMs is the latest window-relative instant a chaos plan may
+// heal. It leaves the recovery probe (grace + pings + timeout) room to
+// finish inside the drain, so Validate rejects plans the recovery oracle
+// could not judge.
+const chaosHealBoundMs = 110
 
 // Atom kinds — one per adversary behavior.
 const (
@@ -77,6 +100,57 @@ type Scenario struct {
 	// engine's release threshold to k/2 (one below a strict majority),
 	// the off-by-one a correct no-forgery oracle must catch.
 	WeakenMajority bool `json:"weaken_majority,omitempty"`
+	// Chaos is the timed fault plan: crashes, restarts and link flaps
+	// executed on virtual time during the traffic window. A non-empty
+	// plan arms the recovery oracle and disarms masking and detection
+	// (outage windows legitimately lose traffic and evidence).
+	Chaos []ChaosAction `json:"chaos,omitempty"`
+}
+
+// ChaosAction is one timed lifecycle fault. Times are in milliseconds
+// relative to the start of the traffic window (millisecond granularity
+// keeps genomes small and shrinkable; the underlying chaos.Plan is
+// nanosecond-precise).
+type ChaosAction struct {
+	// Kind is ChaosRouterCrash, ChaosCompareCrash or ChaosLinkFlap.
+	Kind string `json:"kind"`
+	// Router is the global router index (router-crash, link-flap),
+	// numbered like Adversary.Router.
+	Router int `json:"router,omitempty"`
+	// Combiner is the combiner index (compare-crash).
+	Combiner int `json:"combiner,omitempty"`
+	// Side selects which trunk link flaps (link-flap): 0 the left-edge
+	// side, 1 the right-edge side.
+	Side int `json:"side,omitempty"`
+	// AtMs is the first failure instant, DownMs each outage's duration.
+	AtMs   int `json:"at_ms"`
+	DownMs int `json:"down_ms"`
+	// Cycles repeats the outage (0 and 1 both mean once); PeriodMs is the
+	// failure-to-failure flap period (0 defaults to 2×DownMs).
+	Cycles   int `json:"cycles,omitempty"`
+	PeriodMs int `json:"period_ms,omitempty"`
+}
+
+// action renders the ms-granular genome form as a chaos.Action anchored
+// at the traffic window start.
+func (a ChaosAction) action(target string) chaos.Action {
+	return chaos.Action{
+		Target: target,
+		At:     settleTime + time.Duration(a.AtMs)*time.Millisecond,
+		Down:   time.Duration(a.DownMs) * time.Millisecond,
+		Cycles: a.Cycles,
+		Period: time.Duration(a.PeriodMs) * time.Millisecond,
+	}
+}
+
+// chaosPlan is the scenario's fault plan with positional target names
+// ("chaos0", "chaos1", ...); buildFabric registers the matching targets.
+func (s Scenario) chaosPlan() chaos.Plan {
+	var p chaos.Plan
+	for i, a := range s.Chaos {
+		p.Actions = append(p.Actions, a.action(fmt.Sprintf("chaos%d", i)))
+	}
+	return p
 }
 
 // Flow is one traffic stream between the two end hosts.
@@ -196,6 +270,56 @@ func (s Scenario) Validate() error {
 	}
 	if s.WeakenMajority && s.K != 3 {
 		return fmt.Errorf("harness: weaken_majority requires k=3")
+	}
+	if len(s.Chaos) > 4 {
+		return fmt.Errorf("harness: %d chaos actions out of range [0,4]", len(s.Chaos))
+	}
+	for i, a := range s.Chaos {
+		if err := a.validate(s); err != nil {
+			return fmt.Errorf("harness: chaos %d: %w", i, err)
+		}
+	}
+	if len(s.Chaos) > 0 {
+		p := s.chaosPlan()
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("harness: %w", err)
+		}
+		if heal := p.LastRecovery() - settleTime; heal > chaosHealBoundMs*time.Millisecond {
+			return fmt.Errorf("harness: chaos heals %v into the window, after the %dms bound — the recovery probe would not fit in the drain",
+				heal, chaosHealBoundMs)
+		}
+	}
+	return nil
+}
+
+// validate checks the fields the chaos.Action conversion cannot: target
+// indices and the genome's own magnitude bounds. Timing sanity (negative
+// instants, empty outages, period vs duty cycle) is enforced once, by
+// chaos.Action.Validate on the converted plan.
+func (a ChaosAction) validate(s Scenario) error {
+	switch a.Kind {
+	case ChaosRouterCrash, ChaosLinkFlap:
+		if a.Router < 0 || a.Router >= s.Combiners()*s.K {
+			return fmt.Errorf("router %d out of range", a.Router)
+		}
+	case ChaosCompareCrash:
+		if a.Combiner < 0 || a.Combiner >= s.Combiners() {
+			return fmt.Errorf("combiner %d out of range", a.Combiner)
+		}
+	default:
+		return fmt.Errorf("unknown chaos kind %q", a.Kind)
+	}
+	if a.Side != 0 && a.Side != 1 {
+		return fmt.Errorf("side %d out of range", a.Side)
+	}
+	// The plan anchors At at the window start (settleTime), so a small
+	// negative offset would still convert to a schedulable instant;
+	// reject it here instead.
+	if a.AtMs < 0 {
+		return fmt.Errorf("at_ms %d negative", a.AtMs)
+	}
+	if a.Cycles < 0 || a.Cycles > 5 {
+		return fmt.Errorf("cycles %d out of range [0,5]", a.Cycles)
 	}
 	return nil
 }

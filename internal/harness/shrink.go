@@ -53,6 +53,21 @@ func Shrink(sc Scenario, oracles []string, budget int) Scenario {
 					cand.Adversaries = append(cand.Adversaries, a)
 				}
 			}
+			// Chaos targets are indexed like adversaries: keep only what
+			// the single remaining combiner can host.
+			cand.Chaos = nil
+			for _, ca := range sc.Chaos {
+				switch ca.Kind {
+				case ChaosCompareCrash:
+					if ca.Combiner == 0 {
+						cand.Chaos = append(cand.Chaos, ca)
+					}
+				default:
+					if ca.Router < sc.K {
+						cand.Chaos = append(cand.Chaos, ca)
+					}
+				}
+			}
 			if stillFails(cand) {
 				sc = cand
 				changed = true
@@ -63,6 +78,17 @@ func Shrink(sc Scenario, oracles []string, budget int) Scenario {
 		for i := 0; i < len(sc.Adversaries); i++ {
 			cand := sc
 			cand.Adversaries = dropIndexA(sc.Adversaries, i)
+			if stillFails(cand) {
+				sc = cand
+				changed = true
+				i--
+			}
+		}
+
+		// 2b. Drop chaos actions.
+		for i := 0; i < len(sc.Chaos); i++ {
+			cand := sc
+			cand.Chaos = dropIndexC(sc.Chaos, i)
 			if stillFails(cand) {
 				sc = cand
 				changed = true
@@ -142,6 +168,29 @@ func Shrink(sc Scenario, oracles []string, budget int) Scenario {
 				}
 			}
 		}
+		// Chaos: flaps down to single outages, outages toward 5 ms.
+		// Halving DownMs preserves the period > down invariant whenever
+		// the original plan held it.
+		for i, ca := range sc.Chaos {
+			var next ChaosAction
+			switch {
+			case ca.Cycles > 1:
+				next = ca
+				next.Cycles = 1
+			case ca.DownMs > 5:
+				next = ca
+				next.DownMs = ca.DownMs / 2
+			default:
+				continue
+			}
+			cand := sc
+			cand.Chaos = cloneChaos(sc.Chaos)
+			cand.Chaos[i] = next
+			if stillFails(cand) {
+				sc = cand
+				changed = true
+			}
+		}
 	}
 	return sc
 }
@@ -173,6 +222,16 @@ func cloneAdvs(s []Adversary) []Adversary {
 	return out
 }
 
+func dropIndexC(s []ChaosAction, i int) []ChaosAction {
+	out := make([]ChaosAction, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
 func cloneFlows(s []Flow) []Flow {
 	return append([]Flow(nil), s...)
+}
+
+func cloneChaos(s []ChaosAction) []ChaosAction {
+	return append([]ChaosAction(nil), s...)
 }

@@ -43,6 +43,12 @@ type LinkConfig struct {
 	// direction; the packet being serialised occupies one slot. Zero
 	// means unbounded.
 	QueueLimit int
+	// DropInFlight makes a link-down event also discard packets that were
+	// already serialised and are propagating when the link goes down — the
+	// physical model of a cut fibre. Off (the default) preserves the
+	// historical behaviour (and run digests): down only gates new sends,
+	// and in-flight packets still arrive.
+	DropInFlight bool
 }
 
 // LinkStats counts traffic for one direction of a link.
@@ -50,6 +56,10 @@ type LinkStats struct {
 	TxPackets uint64
 	TxBytes   uint64
 	Drops     uint64
+	// InFlightDrops counts packets of this direction that were already in
+	// flight when the link went down and were discarded at the receiving
+	// end (only with LinkConfig.DropInFlight).
+	InFlightDrops uint64
 }
 
 type attachment struct {
@@ -115,7 +125,20 @@ type Link struct {
 	ends  [2]attachment
 	dirs  [2]linkDir
 
-	down bool
+	// downAt[end] is end's local view of the link's administrative state,
+	// read and written only from end's domain once workers run: Send
+	// consults downAt[fromEnd], delivery consults downAt[receiving end].
+	// Timed toggles (ScheduleDown) arm one event per end on that end's own
+	// scheduler, so partitioned runs never share the flag across domains.
+	downAt [2]endDown
+}
+
+// endDown is one end's administratively-down view plus the counter of
+// in-flight packets this end discarded while down. Both fields are owned
+// by the end's domain.
+type endDown struct {
+	down          bool
+	inFlightDrops uint64
 }
 
 // linkIDs hands out globally unique, monotone link ids. Only the
@@ -149,12 +172,49 @@ func (l *Link) Peer(end int) (Receiver, int) {
 	return a.recv, a.port
 }
 
-// SetDown administratively disables the link: all sends are dropped. Used
-// by fault-injection tests and the compare's port-blocking response.
-func (l *Link) SetDown(down bool) { l.down = down }
+// SetDown administratively disables the link: all sends are dropped. It
+// writes both ends' views immediately, so it is only safe from setup code
+// or a serial run's event context (the compare's port-blocking response,
+// single-scheduler fault tests). Partitioned runs — and any toggle that
+// must land at a specific virtual time — use ScheduleDown instead.
+func (l *Link) SetDown(down bool) {
+	l.downAt[0].down = down
+	l.downAt[1].down = down
+}
+
+// ScheduleDown arms the administrative toggle as a timed event on each
+// end's own scheduler, so each domain flips its local view from its own
+// goroutine — the race-free path for partitioned runs. Call during
+// single-threaded setup (before workers start), like all cross-domain
+// scheduling. Ordinary events sort before same-instant deliveries, so a
+// down at time T affects packets arriving at exactly T deterministically.
+func (l *Link) ScheduleDown(at time.Duration, down bool) {
+	n := 0
+	if down {
+		n = 1
+	}
+	l.scheds[0].AtCall(at, linkSetEndDown, l, nil, n)
+	l.scheds[1].AtCall(at, linkSetEndDown, l, nil, 2|n)
+}
+
+// linkSetEndDown flips one end's local down view. n encodes end<<1|down.
+func linkSetEndDown(a0, _ any, n int) {
+	l := a0.(*Link)
+	l.downAt[n>>1].down = n&1 == 1
+}
+
+// Down reports end's local view of the administrative state.
+func (l *Link) Down(end int) bool { return l.downAt[end].down }
 
 // Stats returns the counters for the direction transmitting from end.
-func (l *Link) Stats(end int) LinkStats { return l.dirs[end].stats }
+// In-flight drops of that direction happen at — and are counted by — the
+// receiving end; Stats folds them in, so call it only from setup/teardown
+// or a serial run (like SetDown).
+func (l *Link) Stats(end int) LinkStats {
+	s := l.dirs[end].stats
+	s.InFlightDrops = l.downAt[1-end].inFlightDrops
+	return s
+}
 
 // SetFluidLoad assigns the aggregate fluid-tier rate (bits per second)
 // riding the direction that transmits from end. The fluid tier's
@@ -217,7 +277,7 @@ func (d *linkDir) fluidQueueDelay(bw float64, txTime time.Duration) time.Duratio
 // packet send a Clone.
 func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 	d := &l.dirs[fromEnd]
-	if l.down {
+	if l.downAt[fromEnd].down {
 		d.stats.Drops++
 		return false
 	}
@@ -268,9 +328,9 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 	d.deliverSeq++
 	at := finish + l.cfg.Delay + fluidDelay
 	if cp := l.cross[fromEnd]; cp != nil {
-		cp.Post(at, ch, seq, linkDeliver, &l.ends[1-fromEnd], pkt, 0)
+		cp.Post(at, ch, seq, linkDeliver, l, pkt, fromEnd)
 	} else {
-		sched.AtCallChan(at, ch, seq, linkDeliver, &l.ends[1-fromEnd], pkt, 0)
+		sched.AtCallChan(at, ch, seq, linkDeliver, l, pkt, fromEnd)
 	}
 	return true
 }
@@ -279,7 +339,16 @@ func linkTxDone(a0, _ any, _ int) {
 	a0.(*linkDir).queued--
 }
 
-func linkDeliver(a0, a1 any, _ int) {
-	dst := a0.(*attachment)
+// linkDeliver runs in the receiving end's domain. With DropInFlight, a
+// packet arriving while the receiving end's view says down is discarded
+// and counted there (the receiving domain owns that counter).
+func linkDeliver(a0, a1 any, n int) {
+	l := a0.(*Link)
+	re := 1 - n
+	if ed := &l.downAt[re]; ed.down && l.cfg.DropInFlight {
+		ed.inFlightDrops++
+		return
+	}
+	dst := &l.ends[re]
 	dst.recv.Receive(dst.port, a1.(*packet.Packet))
 }

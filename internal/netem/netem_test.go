@@ -314,6 +314,36 @@ func TestProcZeroCost(t *testing.T) {
 	}
 }
 
+func TestProcReset(t *testing.T) {
+	sched := sim.NewScheduler()
+	p := NewProc(sched, 10*time.Microsecond, 0)
+	ran := 0
+	for i := 0; i < 4; i++ {
+		p.Submit(func() { ran++ })
+	}
+	p.SubmitArgs(func(_, _ any, _ int) { ran++ }, nil, nil, 0)
+	// Reset at 15 µs: the first item (done at 10 µs) ran; the other four
+	// die in the queue.
+	sched.At(15*time.Microsecond, func() { p.Reset() })
+	// The resource serves normally after the reset, with no stale busy
+	// horizon from the discarded work: a submission at 16 µs completes one
+	// service time later, not behind the dead queue.
+	var at time.Duration
+	sched.At(16*time.Microsecond, func() {
+		if p.Backlog() != 0 {
+			t.Errorf("Backlog = %d after Reset, want 0", p.Backlog())
+		}
+		p.Submit(func() { at = sched.Now() })
+	})
+	sched.Run()
+	if ran != 1 {
+		t.Fatalf("%d callbacks ran, want 1 (rest discarded by Reset)", ran)
+	}
+	if at != 26*time.Microsecond {
+		t.Fatalf("post-reset completion at %v, want 26µs (submit time + one service)", at)
+	}
+}
+
 func TestProcSubmitCost(t *testing.T) {
 	sched := sim.NewScheduler()
 	p := NewProc(sched, time.Microsecond, 0)

@@ -44,6 +44,11 @@ type Proc struct {
 	stats     ProcStats
 	paused    time.Duration
 
+	// gen is bumped by Reset; completion events stamped with an older
+	// generation are no-ops, which is how a crash discards work that was
+	// queued or in service when it hit.
+	gen uint32
+
 	// freeCalls recycles SubmitArgs call records.
 	freeCalls *procCall
 }
@@ -79,6 +84,17 @@ func (p *Proc) Submit(fn func()) bool {
 	return p.SubmitCost(p.perItem, fn)
 }
 
+// Reset models a cold restart of the resource: every item waiting or in
+// service is discarded (its completion callback never runs), the overflow
+// latch clears, and the resource is idle from now on. Counters survive —
+// they are observations, not state.
+func (p *Proc) Reset() {
+	p.gen++
+	p.queued = 0
+	p.dropping = false
+	p.busyUntil = p.sched.Now()
+}
+
 // SetHysteresis enables ring-buffer-style overflow: after the queue
 // fills, all submissions are dropped until it drains below half capacity.
 func (p *Proc) SetHysteresis(on bool) { p.hysteresis = on }
@@ -90,7 +106,7 @@ func (p *Proc) SubmitCost(cost time.Duration, fn func()) bool {
 	if !ok {
 		return false
 	}
-	p.sched.AtCall(finish, procRun, p, fn, 0)
+	p.sched.AtCall(finish, procRun, p, fn, int(p.gen))
 	return true
 }
 
@@ -116,6 +132,7 @@ func (p *Proc) SubmitArgsCost(cost time.Duration, fn sim.CallFunc, a0, a1 any, n
 		c = &procCall{}
 	}
 	c.fn, c.a0, c.a1 = fn, a0, a1
+	c.gen = p.gen
 	p.sched.AtCall(finish, procRunArgs, p, c, n)
 	return true
 }
@@ -147,8 +164,11 @@ func (p *Proc) admit(cost time.Duration) (time.Duration, bool) {
 	return finish, true
 }
 
-func procRun(a0, a1 any, _ int) {
+func procRun(a0, a1 any, n int) {
 	p := a0.(*Proc)
+	if uint32(n) != p.gen {
+		return // submitted before a Reset: the work died with the crash
+	}
 	p.queued--
 	p.stats.Processed++
 	a1.(func())()
@@ -161,17 +181,22 @@ func procRun(a0, a1 any, _ int) {
 type procCall struct {
 	fn     sim.CallFunc
 	a0, a1 any
+	gen    uint32
 	next   *procCall
 }
 
 func procRunArgs(a0, a1 any, n int) {
 	p := a0.(*Proc)
-	p.queued--
-	p.stats.Processed++
 	c := a1.(*procCall)
+	stale := c.gen != p.gen
 	fn, ca0, ca1 := c.fn, c.a0, c.a1
 	c.fn, c.a0, c.a1 = nil, nil, nil
 	c.next = p.freeCalls
 	p.freeCalls = c
+	if stale {
+		return // submitted before a Reset: the work died with the crash
+	}
+	p.queued--
+	p.stats.Processed++
 	fn(ca0, ca1, n)
 }

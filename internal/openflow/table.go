@@ -182,6 +182,30 @@ func (t *FlowTable) Add(e *FlowEntry) {
 	}
 }
 
+// Reset empties the table the way a cold restart does: every entry is
+// discarded silently — no OnRemoved callbacks, because a crashed switch
+// cannot report FlowRemoved for state it just lost — the expiry heap is
+// cleared, the armed timer cancelled, and the generation bumped so every
+// microflow-cache slot filled before the crash misses. Counters
+// (classifier stats, Misses) survive; they are observations of the run,
+// not switch state.
+func (t *FlowTable) Reset() {
+	for _, e := range t.entries {
+		e.dead = true
+	}
+	t.entries = t.entries[:0]
+	t.ts = tupleSpace{}
+	t.gen++
+	for i := range t.expiry {
+		t.expiry[i] = deadlineNode{} // release entry pointers to the GC
+	}
+	t.expiry = t.expiry[:0]
+	if t.timerSet {
+		t.timer.Stop()
+		t.timerSet = false
+	}
+}
+
 // Delete removes entries. With strict set, only an exact match+priority
 // entry is removed; otherwise every entry whose match is subsumed by m is
 // removed (OFPFC_DELETE semantics). outPort, when not PortNone, restricts

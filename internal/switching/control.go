@@ -32,13 +32,28 @@ type Conn struct {
 	datapathID uint64
 	nextXid    uint32
 
+	// down models a controller outage: messages in both directions are
+	// dropped (and counted) while set. Toggled by the chaos layer from
+	// the switch's domain; a "failover" is a later ConnectController call
+	// with the standby application, which re-runs the handshake.
+	down bool
+
 	// Stats.
 	ToController   uint64
 	FromController uint64
+	DroppedDown    uint64
 }
 
 // DatapathID identifies the switch on this connection.
 func (c *Conn) DatapathID() uint64 { return c.datapathID }
+
+// SetDown starts or ends a controller outage on this connection. While
+// down, every message in either direction is dropped. Call from the
+// switch's domain (or setup code), like all per-node state.
+func (c *Conn) SetDown(down bool) { c.down = down }
+
+// IsDown reports whether the connection is in an outage.
+func (c *Conn) IsDown() bool { return c.down }
 
 // SwitchName returns the attached switch's node name.
 func (c *Conn) SwitchName() string { return c.sw.Name() }
@@ -77,6 +92,10 @@ func (sw *Switch) featuresReply() openflow.FeaturesReply {
 // Send transmits a controller-to-switch message. The message crosses the
 // wire codec and arrives after the channel latency.
 func (c *Conn) Send(m openflow.Message) {
+	if c.down {
+		c.DroppedDown++
+		return
+	}
 	c.nextXid++
 	xid := c.nextXid
 	wire := openflow.Encode(m, xid)
@@ -147,6 +166,10 @@ func (sw *Switch) flowRemoved(e *openflow.FlowEntry, reason openflow.RemovedReas
 
 func (sw *Switch) sendToController(m openflow.Message) {
 	conn := sw.ctrl.conn
+	if conn.down {
+		conn.DroppedDown++
+		return
+	}
 	wire := openflow.Encode(m, sw.xid())
 	conn.ToController++
 	sw.sched.After(conn.latency, func() {
@@ -160,6 +183,9 @@ func (sw *Switch) sendToController(m openflow.Message) {
 
 // handleControllerMessage executes a controller-to-switch request.
 func (sw *Switch) handleControllerMessage(c *Conn, m openflow.Message, xid uint32) {
+	if sw.down {
+		return // a crashed switch processes nothing
+	}
 	switch v := m.(type) {
 	case openflow.FlowMod:
 		sw.applyFlowMod(v)

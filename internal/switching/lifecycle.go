@@ -1,0 +1,65 @@
+package switching
+
+// This file is the switch's crash/restart lifecycle, the mechanism under
+// the chaos layer's router actions (internal/chaos). A crash is a cold
+// power loss: all volatile state — flow table (rules, timeout heap, the
+// armed expiry timer, the microflow cache), the pipeline queue, ingress
+// blocks — is gone, and nothing is reported to the controller (a dead
+// switch cannot send FlowRemoved). A restart brings the switch up empty
+// and, when a controller is attached, re-runs the handshake so the
+// control application re-learns or re-installs its rules.
+
+// LifecycleStats counts crash/restart transitions and the packets the
+// switch dropped while down.
+type LifecycleStats struct {
+	Crashes     uint64
+	Restarts    uint64
+	RxWhileDown uint64
+	TxWhileDown uint64
+}
+
+// Crash takes the switch down, losing all volatile state: flow rules and
+// their idle/hard timeout heap entries (the armed expiry timer is
+// cancelled — no FlowRemoved fires for a pre-crash rule), the microflow
+// cache (generation bump), every packet queued or in service in the
+// pipeline, and all BlockIngress state. The attached Behavior survives:
+// compromised firmware persists across reboots. Idempotent while down.
+func (sw *Switch) Crash() {
+	if sw.down {
+		return
+	}
+	sw.down = true
+	sw.life.Crashes++
+	sw.table.Reset()
+	sw.proc.Reset()
+	for p := range sw.blockedIngress {
+		delete(sw.blockedIngress, p)
+	}
+}
+
+// Restart powers the switch back up with an empty flow table. If a
+// controller is attached, the Hello/Features handshake re-runs, so the
+// control application's SwitchConnected fires again after two RTTs and
+// repopulates state exactly as it did on first connect (the learning
+// controller starts a fresh MAC table; static apps reinstall routes).
+// Idempotent while up.
+func (sw *Switch) Restart() {
+	if !sw.down {
+		return
+	}
+	sw.down = false
+	sw.life.Restarts++
+	if sw.ctrl != nil {
+		conn := sw.ctrl.conn
+		features := sw.featuresReply()
+		sw.sched.After(4*conn.latency, func() {
+			conn.ctrl.SwitchConnected(conn, features)
+		})
+	}
+}
+
+// IsDown reports whether the switch is crashed.
+func (sw *Switch) IsDown() bool { return sw.down }
+
+// Lifecycle returns the crash/restart counters.
+func (sw *Switch) Lifecycle() LifecycleStats { return sw.life }

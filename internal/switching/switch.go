@@ -77,6 +77,11 @@ type Switch struct {
 	ctrl     *controllerLink
 	nextXid  uint32
 
+	// down is the crash state (lifecycle.go): a crashed switch drops all
+	// ingress, transmits nothing, and ignores the control channel.
+	down bool
+	life LifecycleStats
+
 	blockedIngress map[int]time.Duration // port -> blocked until
 
 	// Port counters live in a dense slice indexed by port for the
@@ -208,6 +213,11 @@ func (sw *Switch) Receive(port int, pkt *packet.Packet) {
 	pc := sw.PortCounters(port)
 	pc.RxPackets++
 	pc.RxBytes += uint64(pkt.WireLen())
+	if sw.down {
+		pc.RxDropped++
+		sw.life.RxWhileDown++
+		return
+	}
 	if sw.IngressBlocked(port) {
 		pc.RxDropped++
 		return
@@ -282,6 +292,12 @@ func (sw *Switch) output(inPort, outPort int, a openflow.Action, pkt *packet.Pac
 }
 
 func (sw *Switch) transmit(port int, pkt *packet.Packet) {
+	if sw.down {
+		// A crashed switch puts nothing on the wire — this also silences
+		// behaviors whose self-scheduled injections fire mid-outage.
+		sw.life.TxWhileDown++
+		return
+	}
 	if sw.OnTransmit != nil {
 		sw.OnTransmit(port, pkt)
 	}
