@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid sweep-smoke hybrid-smoke fuzz fuzz-smoke chaos-smoke
+.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid sweep-smoke hybrid-smoke hybrid-scale-smoke fuzz fuzz-smoke chaos-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
 # the race detector (with scratch poisoning on, so retained engine events
@@ -9,7 +9,7 @@ GO ?= go
 # embedded in the test run, not to produce stable timings), an
 # end-to-end parallel sweep smoke run, the hybrid-engine digest-stability
 # smoke, the scenario-fuzzer smoke, and the chaos-lifecycle smoke.
-check: vet build race bench-guard sweep-smoke hybrid-smoke fuzz-smoke chaos-smoke
+check: vet build race bench-guard sweep-smoke hybrid-smoke hybrid-scale-smoke fuzz-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,17 @@ hybrid-smoke:
 		-seeds 1:2 -workers 1 -json /tmp/netco-hybrid-smoke-w1.json > /dev/null
 	cmp /tmp/netco-hybrid-smoke-w1.json /tmp/netco-hybrid-smoke-w4.json
 	@echo "hybrid-smoke: hybrid digests and histograms byte-identical across worker counts"
+
+# hybrid-scale-smoke is the scale path's regression guard: a 40-ary
+# hybrid run (2000 switches, 96000 fluid flows, 1 simulated second) that
+# the bench runs twice, exiting nonzero if the digests diverge or the
+# topology build (topo+wire+flows) exceeds the 1000 ms ceiling —
+# roughly 5x the measured build on a single-core runner, so it trips on
+# an accidental return to per-flow allocation, not on scheduler jitter.
+hybrid-scale-smoke:
+	$(GO) run ./cmd/netco-bench -hybrid -hybrid-arity 40 -hybrid-flows-per-host 6 \
+		-hybrid-build-budget-ms 1000
+	@echo "hybrid-scale-smoke: 96k-flow digest bit-identical, build inside budget"
 
 # fuzz-smoke is the scenario fuzzer's pre-merge budget: 200 randomized
 # Byzantine scenarios through all four invariant oracles (masking,

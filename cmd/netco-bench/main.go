@@ -5,7 +5,9 @@
 // Usage:
 //
 //	netco-bench [-table1] [-fig4] [-fig5] [-fig6] [-fig7] [-fig8] [-all]
-//	            [-scale] [-parallel n] [-full] [-quick] [-seed n]
+//	            [-scale] [-hybrid] [-parallel n] [-full] [-quick] [-seed n]
+//	            [-hybrid-arity k] [-hybrid-flows-per-host n] [-hybrid-monitored n]
+//	            [-hybrid-promote-rho r] [-hybrid-build-budget-ms b]
 //	            [-cpuprofile f] [-memprofile f] [-json f]
 //
 // Without selection flags, -all is assumed. -full uses the paper's
@@ -53,13 +55,19 @@ func run() error {
 		dos    = flag.Bool("dos", false, "extension: DoS attacks vs the §IV defences")
 		scale  = flag.Bool("scale", false, "extension: parallel-engine scaling benchmark (fat-tree cross-pod UDP, partition sweep; BENCH_5.json)")
 		hybrid = flag.Bool("hybrid", false, "extension: hybrid fluid/packet traffic engine (1k-switch fluid fat tree, 100k+ flows, packet-exact combiner region; BENCH_6.json)")
-		all    = flag.Bool("all", false, "reproduce everything")
-		full   = flag.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
-		quick  = flag.Bool("quick", false, "smoke-test durations")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		serial = flag.Bool("serial", false, "run scenarios sequentially (default: one worker per core)")
-		para   = flag.Int("parallel", 0, "run each simulation on the parallel engine with this many partitions (0/1 = serial engine; results are bit-identical)")
-		csvDir = flag.String("csv", "", "also write each figure's data as CSV files into this directory")
+
+		hybArity     = flag.Int("hybrid-arity", 0, "override the hybrid fat-tree arity (0 = scenario default; 90 with -hybrid-flows-per-host 6 is the BENCH_8 10k-switch/1M-flow point)")
+		hybFlows     = flag.Int("hybrid-flows-per-host", 0, "override the hybrid flows-per-host fan-out (0 = scenario default)")
+		hybMonitored = flag.Int("hybrid-monitored", 0, "override how many hybrid flows are monitored through the compare region (0 = scenario default)")
+		hybRho       = flag.Float64("hybrid-promote-rho", 0, "bottleneck utilisation that promotes a hybrid fluid flow to packets (0 = promotion by region crossing only)")
+		hybBudgetMS  = flag.Float64("hybrid-build-budget-ms", 0, "fail if the hybrid build (topo+wire+flows) exceeds this many milliseconds (0 = no ceiling; regression guard for make hybrid-scale-smoke)")
+		all          = flag.Bool("all", false, "reproduce everything")
+		full         = flag.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
+		quick        = flag.Bool("quick", false, "smoke-test durations")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		serial       = flag.Bool("serial", false, "run scenarios sequentially (default: one worker per core)")
+		para         = flag.Int("parallel", 0, "run each simulation on the parallel engine with this many partitions (0/1 = serial engine; results are bit-identical)")
+		csvDir       = flag.String("csv", "", "also write each figure's data as CSV files into this directory")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) at exit to this file")
@@ -290,18 +298,42 @@ func run() error {
 		if *quick {
 			hp = netco.DefaultHybridParams()
 		}
+		// Sizing overrides: defaults (0) leave the BENCH_6 scenario —
+		// and its digest — untouched.
+		if *hybArity > 0 {
+			hp.Arity = *hybArity
+		}
+		if *hybFlows > 0 {
+			hp.FlowsPerHost = *hybFlows
+		}
+		if *hybMonitored > 0 {
+			hp.CrossFlows = *hybMonitored
+		}
+		if *hybRho > 0 {
+			hp.PromoteRho = *hybRho
+		}
 		fmt.Printf("== Extension: hybrid fluid/packet engine (%d-ary fat tree) ==\n", hp.Arity)
 		wall := time.Now()
 		r := netco.RunHybrid(p, hp)
 		secs := time.Since(wall).Seconds()
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		peakHeapMB := float64(mem.HeapSys-mem.HeapReleased) / (1 << 20)
 		r2 := netco.RunHybrid(p, hp)
 		if r2.Digest != r.Digest {
 			return fmt.Errorf("hybrid: digest diverged across identical runs")
 		}
+		buildMS := r.BuildTopoMS + r.BuildWireMS + r.BuildFlowsMS
+		if *hybBudgetMS > 0 && buildMS > *hybBudgetMS {
+			return fmt.Errorf("hybrid: build took %.0f ms (topo %.0f + wire %.0f + flows %.0f), over the %.0f ms budget",
+				buildMS, r.BuildTopoMS, r.BuildWireMS, r.BuildFlowsMS, *hybBudgetMS)
+		}
 		fmt.Printf("  %d switches, %d hosts, %d flows (%d through the compare region), region ball %d nodes\n",
 			r.Switches, r.Hosts, r.Flows, r.CrossFlows, r.RegionNodes)
-		fmt.Printf("  %d events, %d settles, %d promotions / %d demotions in %.2fs wall\n",
-			r.Events, r.Settles, r.Promotions, r.Demotions, secs)
+		fmt.Printf("  build %.0f ms (topo %.0f, wire %.0f, flows %.0f); peak heap %.0f MiB\n",
+			buildMS, r.BuildTopoMS, r.BuildWireMS, r.BuildFlowsMS, peakHeapMB)
+		fmt.Printf("  %d events, %d settles, %d promotions / %d demotions (%d by congestion) in %.2fs wall\n",
+			r.Events, r.Settles, r.Promotions, r.Demotions, r.CongestionPromotions, secs)
 		fmt.Printf("  fluid goodput %.1f Mbit/s aggregate; projected pure-packet events %.2e → ratio %.0fx\n",
 			r.FluidDeliveredBits/hp.Duration.Seconds()/1e6, r.ProjectedPacketEvents, r.EventRatio)
 		fmt.Println("  digest bit-identical across repeated runs")
@@ -315,6 +347,11 @@ func run() error {
 		metrics["hybrid.settles"] = float64(r.Settles)
 		metrics["hybrid.promotions"] = float64(r.Promotions)
 		metrics["hybrid.demotions"] = float64(r.Demotions)
+		metrics["hybrid.congestion_promotions"] = float64(r.CongestionPromotions)
+		metrics["hybrid.build_topo_ms"] = r.BuildTopoMS
+		metrics["hybrid.build_wire_ms"] = r.BuildWireMS
+		metrics["hybrid.build_flows_ms"] = r.BuildFlowsMS
+		metrics["hybrid.peak_heap_mb"] = peakHeapMB
 		metrics["hybrid.fluid_goodput_mbps"] = r.FluidDeliveredBits / hp.Duration.Seconds() / 1e6
 		metrics["hybrid.projected_packet_events"] = r.ProjectedPacketEvents
 		metrics["hybrid.event_ratio"] = r.EventRatio

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"netco/internal/netem"
 	"netco/internal/openflow"
 	"netco/internal/packet"
+	"netco/internal/pool"
 	"netco/internal/sim"
 	"netco/internal/switching"
 	"netco/internal/topo"
@@ -43,12 +45,24 @@ import (
 // contract the differential test in hybrid_test.go enforces.
 //
 // The engine is serial by construction (one scheduler). Params.Workers
-// and Params.Partitions do not apply to it; netco-bench records them
-// for provenance only.
+// parallelises topology *construction* only (pod wiring and host
+// builds, with deterministic link-id assignment, so results are
+// bit-identical at any worker count); the simulation itself never
+// shares a scheduler across goroutines. Params.Partitions does not
+// apply.
 
 // hybridPayload is the UDP payload size used by expanders and
 // packet-mode fabric sources (iperf's default datagram).
 const hybridPayload = 1470
+
+// buildWorkers clamps a Params.Workers value for topology-build
+// parallelism (0 means serial, like 1).
+func buildWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
 
 // HybridParams sizes one hybrid scenario.
 type HybridParams struct {
@@ -82,8 +96,19 @@ type HybridParams struct {
 	PacketFabric bool
 	// StartWaves staggers flow starts across this many offsets inside
 	// the first two epochs (default 4), exercising the allocator's
-	// epoch coalescing.
+	// epoch coalescing. Each wave is one scheduler event starting its
+	// stride of flows in index order — at million-flow scale a
+	// per-flow timer apiece would dominate the build.
 	StartWaves int
+	// PromoteRho, when > 0 (hybrid mode only), promotes flows whose
+	// bottleneck direction's utilisation load/cap reaches the
+	// threshold: the flow is expanded through the combiner region like
+	// a monitored flow, so congestion hot-spots get packet-exact
+	// scrutiny. Flows holding a pre-built expander (the SwapAt set)
+	// are exempt.
+	PromoteRho float64
+	// PromoteCap bounds congestion-triggered promotions (0 = no bound).
+	PromoteCap int
 }
 
 // DefaultHybridParams returns the small configuration used by the
@@ -115,6 +140,16 @@ type HybridResult struct {
 	Settles    uint64 `json:"settles"`
 	Promotions uint64 `json:"promotions"`
 	Demotions  uint64 `json:"demotions"`
+	// CongestionPromotions is the subset of Promotions triggered by the
+	// PromoteRho threshold rather than region crossing or SwapAt.
+	CongestionPromotions uint64 `json:"congestion_promotions,omitempty"`
+
+	// Build-time breakdown (wall clock, not simulated time): fabric
+	// switches + links, host builds + host links + region map, and flow
+	// construction. Provenance only — never folded into digests.
+	BuildTopoMS  float64 `json:"build_topo_ms"`
+	BuildWireMS  float64 `json:"build_wire_ms"`
+	BuildFlowsMS float64 `json:"build_flows_ms"`
 
 	// FluidDeliveredBits totals every flow's delivered traffic
 	// (analytic accrual for fluid segments, measured sink bytes for
@@ -154,9 +189,8 @@ type hybridFlow struct {
 	dstG     int
 	fluid    *traffic.FluidFlow
 	exp      *traffic.UDPExpander // non-nil iff the flow can be promoted
-	route    []string
+	route    []string             // monitored flows only; fabric-only routes never cross
 	crossing bool
-	startAt  time.Duration
 }
 
 // RunHybrid builds and runs one hybrid scenario. It is a pure function
@@ -217,71 +251,109 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 	arity := hp.Arity
 	half := arity / 2
 	perPod := half * half
+	topoStart := time.Now()
 	ft := topo.BuildFatTree(nw, topo.FatTreeParams{
 		Arity:           arity,
 		Link:            p.TrunkLink(),
 		SwitchProcDelay: p.SwitchProc,
 		SwitchProcQueue: p.SwitchQueue,
+		Workers:         p.Workers,
 	})
+	buildTopoMS := float64(time.Since(topoStart)) / float64(time.Millisecond)
+
+	// Hosts: built per pod (concurrently when Workers allows — NewHost
+	// touches only its own state), registered serially (the node map),
+	// then wired to their edge switches through a reserved link batch
+	// whose slot order equals the serial Connect order, keeping link
+	// ids — and same-instant tie-break bands — identical at any worker
+	// count.
+	wireStart := time.Now()
 	hosts := make([]*traffic.Host, arity*perPod)
-	for pod := 0; pod < arity; pod++ {
+	hcfg := hostCfgOf(p)
+	pool.Map(context.Background(), buildWorkers(p.Workers), arity, func(pod int) (struct{}, error) {
 		for e := 0; e < half; e++ {
 			for s := 0; s < half; s++ {
 				g := pod*perPod + e*half + s
 				name := fmt.Sprintf("pod%d-h%d", pod, e*half+s)
-				h := traffic.NewHost(sched, name, packet.HostMAC(uint32(1+g)), packet.HostIP(uint32(1+g)), hostCfgOf(p))
-				nw.Add(h)
-				nw.Connect(h, traffic.HostPort, ft.Pods[pod].Edge[e], ft.EdgeHostPortOf(s), p.HostLink())
-				hosts[g] = h
+				hosts[g] = traffic.NewHost(sched, name, packet.HostMAC(uint32(1+g)), packet.HostIP(uint32(1+g)), hcfg)
 			}
 		}
+		return struct{}{}, nil
+	})
+	for _, h := range hosts {
+		nw.Add(h)
 	}
+	hostBatch := nw.ReserveLinks(len(hosts))
+	pool.Map(context.Background(), buildWorkers(p.Workers), arity, func(pod int) (struct{}, error) {
+		for e := 0; e < half; e++ {
+			for s := 0; s < half; s++ {
+				g := pod*perPod + e*half + s
+				hostBatch.Connect(g, hosts[g], traffic.HostPort, ft.Pods[pod].Edge[e], ft.EdgeHostPortOf(s), p.HostLink())
+			}
+		}
+		return struct{}{}, nil
+	})
 	if hp.PacketFabric {
 		installFatTreeRoutes(ft, hosts)
 	}
 
 	region := BuildRegionMap(nw, []string{"compare"}, hp.RegionRadius)
+	buildWireMS := float64(time.Since(wireStart)) / float64(time.Millisecond)
 
 	// hopOf resolves a transmitting (node, port) to a fluid Hop.
 	hopOf := func(n netem.Node, port int) traffic.Hop {
 		l, end := n.Ports().Ref(port)
 		return traffic.Hop{Link: l, End: end}
 	}
-	// pathFor returns the directed fluid path and node route srcG→dstG
-	// along the deterministic fat-tree routing (agg by destination
-	// slot, core by destination pod — the same choice
-	// installFatTreeRoutes materialises as flow entries).
-	pathFor := func(srcG, dstG int) ([]traffic.Hop, []string) {
+	// pathFor appends the directed fluid path srcG→dstG to hops (a
+	// reused scratch buffer — NewFlow copies what it needs) along the
+	// deterministic fat-tree routing (agg by destination slot, core by
+	// destination pod — the same choice installFatTreeRoutes
+	// materialises as flow entries).
+	pathFor := func(srcG, dstG int, hops []traffic.Hop) []traffic.Hop {
 		sp, sl := srcG/perPod, srcG%perPod
 		dp, dl := dstG/perPod, dstG%perPod
 		se := sl / half
 		de, ds := dl/half, dl%half
 		jd, md := ds%half, dp%half
 
-		hops := []traffic.Hop{hopOf(hosts[srcG], traffic.HostPort)}
-		route := []string{hosts[srcG].Name(), ft.Pods[sp].Edge[se].Name()}
+		hops = append(hops, hopOf(hosts[srcG], traffic.HostPort))
 		if sp == dp && se == de {
-			hops = append(hops, hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
-			route = append(route, hosts[dstG].Name())
-			return hops, route
+			return append(hops, hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
 		}
 		hops = append(hops, hopOf(ft.Pods[sp].Edge[se], ft.EdgeUpPortOf(jd)))
-		route = append(route, ft.Pods[sp].Agg[jd].Name())
 		if sp != dp {
 			cw := ft.Cores[jd*half+md]
 			hops = append(hops,
 				hopOf(ft.Pods[sp].Agg[jd], ft.AggUpPortOf(md)),
 				hopOf(cw, ft.CorePodPortOf(dp)))
-			route = append(route, cw.Name(), ft.Pods[dp].Agg[jd].Name())
 		}
-		hops = append(hops,
+		return append(hops,
 			hopOf(ft.Pods[dp].Agg[jd], ft.AggDownPortOf(de)),
 			hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
-		route = append(route, ft.Pods[dp].Edge[de].Name(), hosts[dstG].Name())
-		return hops, route
 	}
+	// routeFor builds the node-name route srcG→dstG. Only monitored
+	// flows need one: the combiner region shares no links with the
+	// fabric, so a fabric-only route can never cross it, and at
+	// million-flow scale the name slices would dominate the build.
+	routeFor := func(srcG, dstG int) []string {
+		sp, sl := srcG/perPod, srcG%perPod
+		dp, dl := dstG/perPod, dstG%perPod
+		se := sl / half
+		de, ds := dl/half, dl%half
+		jd, md := ds%half, dp%half
 
-	fn := traffic.NewFluidNet(sched, traffic.FluidConfig{Epoch: hp.Epoch})
+		route := []string{hosts[srcG].Name(), ft.Pods[sp].Edge[se].Name()}
+		if sp == dp && se == de {
+			return append(route, hosts[dstG].Name())
+		}
+		route = append(route, ft.Pods[sp].Agg[jd].Name())
+		if sp != dp {
+			cw := ft.Cores[jd*half+md]
+			route = append(route, cw.Name(), ft.Pods[dp].Agg[jd].Name())
+		}
+		return append(route, ft.Pods[dp].Edge[de].Name(), hosts[dstG].Name())
+	}
 
 	total := len(hosts) * hp.FlowsPerHost
 	if hp.CrossFlows > total {
@@ -296,24 +368,54 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 	}
 
 	flows := make([]*hybridFlow, total)
-	var promotions, demotions uint64
+	var promotions, demotions, congPromotions uint64
+	congSlots := 0
+	fcfg := traffic.FluidConfig{Epoch: hp.Epoch}
+	if hp.PromoteRho > 0 && !hp.PacketFabric {
+		fcfg.CongestionRho = hp.PromoteRho
+		fcfg.OnCongested = func(f *traffic.FluidFlow, _ float64) {
+			if hp.PromoteCap > 0 && congSlots >= hp.PromoteCap {
+				return
+			}
+			// In hybrid mode every flow registers with the allocator in
+			// index order, so the fluid id is the hybridFlow index.
+			hf := flows[f.ID()]
+			if hf.exp != nil {
+				return // pre-built expanders are reserved for SwapAt
+			}
+			slot := congSlots
+			congSlots++
+			src := traffic.NewUDPSource(gw0, uint16(10000+slot), gw1.Endpoint(uint16(40000+slot)),
+				traffic.UDPSourceConfig{PayloadSize: hybridPayload})
+			sink := traffic.NewUDPSink(gw1, uint16(40000+slot))
+			hf.exp = traffic.NewUDPExpander(src, sink)
+			f.Promote(hf.exp)
+			promotions++
+			congPromotions++
+		}
+	}
+	fn := traffic.NewFluidNet(sched, fcfg)
+
+	flowStart := time.Now()
+	hfArena := make([]hybridFlow, total) // one allocation for all flow records
+	hopsBuf := make([]traffic.Hop, 0, 8)
 	for g := range hosts {
 		for k := 0; k < hp.FlowsPerHost; k++ {
 			i := g*hp.FlowsPerHost + k
 			sp, sl := g/perPod, g%perPod
 			dp := (sp + 1 + k%(arity-1)) % arity
 			dstG := dp*perPod + (sl+k)%perPod
-			hf := &hybridFlow{idx: i, srcG: g, dstG: dstG}
-			hops, route := pathFor(g, dstG)
-			hf.route = route
+			hf := &hfArena[i]
+			hf.idx, hf.srcG, hf.dstG = i, g, dstG
+			hopsBuf = pathFor(g, dstG, hopsBuf[:0])
 			// Flows 0..CrossFlows-1 are monitored: their traffic is
 			// steered through the combiner, so the region map marks
 			// them for promotion. Flows CrossFlows..CrossFlows+swapN-1
 			// get expanders too, but enter the region only at SwapAt.
 			if i < hp.CrossFlows {
-				hf.route = append(append([]string{}, route...), "gw0", "s1", "compare", "s2", "gw1")
+				hf.route = append(routeFor(g, dstG), "gw0", "s1", "compare", "s2", "gw1")
+				hf.crossing = region.Crosses(hf.route)
 			}
-			hf.crossing = region.Crosses(hf.route)
 			if hf.crossing || (swapN > 0 && i >= hp.CrossFlows && i < hp.CrossFlows+swapN) {
 				src := traffic.NewUDPSource(gw0, uint16(1000+i), gw1.Endpoint(uint16(30000+i)),
 					traffic.UDPSourceConfig{PayloadSize: hybridPayload})
@@ -325,9 +427,8 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 			// background flows are materialised as packet streams
 			// instead and skip registration.
 			if !hp.PacketFabric || hf.exp != nil {
-				hf.fluid = fn.NewFlow(hp.FlowDemand, hops)
+				hf.fluid = fn.NewFlow(hp.FlowDemand, hopsBuf)
 			}
-			hf.startAt = time.Duration(i%hp.StartWaves) * (2 * hp.Epoch / time.Duration(hp.StartWaves))
 			flows[i] = hf
 		}
 	}
@@ -347,21 +448,30 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 		}
 	}
 
-	for _, hf := range flows {
-		hf := hf
-		sched.After(hf.startAt, func() {
-			if hf.fluid != nil {
-				hf.fluid.Start()
-			}
-			if hp.PacketFabric {
-				pktSrcs[hf.idx].Start()
-			}
-			if hf.crossing && hf.exp != nil {
-				hf.fluid.Promote(hf.exp)
-				promotions++
+	// Start waves: one scheduler event per wave starts its stride of
+	// flows in index order — the same flow→offset assignment the old
+	// per-flow timers produced (wave = idx mod StartWaves), at a
+	// million fewer events.
+	waveGap := 2 * hp.Epoch / time.Duration(hp.StartWaves)
+	for w := 0; w < hp.StartWaves; w++ {
+		w := w
+		sched.After(time.Duration(w)*waveGap, func() {
+			for i := w; i < total; i += hp.StartWaves {
+				hf := flows[i]
+				if hf.fluid != nil {
+					hf.fluid.Start()
+				}
+				if hp.PacketFabric {
+					pktSrcs[i].Start()
+				}
+				if hf.crossing && hf.exp != nil {
+					hf.fluid.Promote(hf.exp)
+					promotions++
+				}
 			}
 		})
 	}
+	buildFlowsMS := float64(time.Since(flowStart)) / float64(time.Millisecond)
 	if swapN > 0 {
 		sched.After(hp.SwapAt, func() {
 			for j := 0; j < swapN; j++ {
@@ -484,6 +594,10 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 		Settles:                 fn.Settles(),
 		Promotions:              promotions,
 		Demotions:               demotions,
+		CongestionPromotions:    congPromotions,
+		BuildTopoMS:             buildTopoMS,
+		BuildWireMS:             buildWireMS,
+		BuildFlowsMS:            buildFlowsMS,
 		FluidDeliveredBits:      deliveredTotal,
 		BackgroundDeliveredBits: backgroundTotal,
 		RegionDigest:            regionDigest,

@@ -104,3 +104,60 @@ func TestHybridKindRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHybridCongestionPromotion exercises the ρ-threshold promotion
+// path: with a demand high enough to saturate fabric links and a low
+// threshold, background flows get expanded into real packet streams,
+// the bookkeeping counts them, and the run stays deterministic.
+func TestHybridCongestionPromotion(t *testing.T) {
+	p, hp := quickHybrid()
+	hp.FlowDemand = 300e6 // trunks (500 Mbit/s) saturate under a few flows
+	hp.PromoteRho = 0.5
+	hp.PromoteCap = 3
+
+	a := RunHybrid(p, hp)
+	if a.CongestionPromotions == 0 {
+		t.Fatal("no congestion-triggered promotions despite saturated links")
+	}
+	if a.CongestionPromotions > uint64(hp.PromoteCap) {
+		t.Fatalf("promotions %d exceed cap %d", a.CongestionPromotions, hp.PromoteCap)
+	}
+	if a.Promotions < a.CongestionPromotions {
+		t.Fatalf("congestion promotions %d not folded into total %d",
+			a.CongestionPromotions, a.Promotions)
+	}
+	b := RunHybrid(p, hp)
+	if a.Digest != b.Digest || a.CongestionPromotions != b.CongestionPromotions {
+		t.Fatalf("congestion-promotion run not deterministic: %d/%d promotions",
+			a.CongestionPromotions, b.CongestionPromotions)
+	}
+
+	// Uncapped, the same workload promotes at least as many flows.
+	hp.PromoteCap = 0
+	c := RunHybrid(p, hp)
+	if c.CongestionPromotions < a.CongestionPromotions {
+		t.Fatalf("uncapped run promoted fewer flows: %d < %d",
+			c.CongestionPromotions, a.CongestionPromotions)
+	}
+
+	// Threshold off: no congestion promotions on the same workload.
+	hp.PromoteRho = 0
+	d := RunHybrid(p, hp)
+	if d.CongestionPromotions != 0 {
+		t.Fatalf("PromoteRho=0 still promoted %d flows", d.CongestionPromotions)
+	}
+}
+
+// TestHybridBuildBreakdownPopulated checks the build provenance fields
+// the bench reports: phases are measured and sum to a sane total.
+func TestHybridBuildBreakdownPopulated(t *testing.T) {
+	p, hp := quickHybrid()
+	r := RunHybrid(p, hp)
+	if r.BuildTopoMS < 0 || r.BuildWireMS < 0 || r.BuildFlowsMS < 0 {
+		t.Fatalf("negative build phase: topo=%v wire=%v flows=%v",
+			r.BuildTopoMS, r.BuildWireMS, r.BuildFlowsMS)
+	}
+	if r.BuildTopoMS+r.BuildWireMS+r.BuildFlowsMS <= 0 {
+		t.Fatal("build breakdown all zero — phases not measured")
+	}
+}

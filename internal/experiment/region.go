@@ -27,38 +27,62 @@ type RegionMap struct {
 // present in the network are still marked (they simply have no
 // neighbours to spread to).
 func BuildRegionMap(nw *netem.Network, seeds []string, radius int) *RegionMap {
-	adj := make(map[string][]string)
-	for _, l := range nw.Links() {
-		a, _ := l.Peer(1) // node attached at end 0
-		b, _ := l.Peer(0) // node attached at end 1
-		if a == nil || b == nil {
+	return NewRegionBuilder(nw).Build(seeds, radius)
+}
+
+// RegionBuilder builds RegionMaps over one network, reusing its BFS
+// frontier scratch across calls. Promotion decisions at scale rebuild
+// region balls repeatedly; the builder walks each frontier node's port
+// table directly (Ports.Each, ascending port order) instead of
+// materialising a whole-network adjacency map per call, so a build
+// costs O(region ball), not O(network).
+type RegionBuilder struct {
+	nw       *netem.Network
+	frontier []netem.Node
+	next     []netem.Node
+}
+
+// NewRegionBuilder creates a builder over the network.
+func NewRegionBuilder(nw *netem.Network) *RegionBuilder {
+	return &RegionBuilder{nw: nw}
+}
+
+// Build grows a packet-exact region ball exactly as BuildRegionMap
+// does. The returned map is independent of the builder; only the
+// traversal scratch is shared between calls.
+func (rb *RegionBuilder) Build(seeds []string, radius int) *RegionMap {
+	rm := &RegionMap{inside: make(map[string]bool), radius: radius}
+	rb.frontier = rb.frontier[:0]
+	for _, s := range seeds {
+		if rm.inside[s] {
 			continue
 		}
-		adj[a.Name()] = append(adj[a.Name()], b.Name())
-		adj[b.Name()] = append(adj[b.Name()], a.Name())
-	}
-
-	rm := &RegionMap{inside: make(map[string]bool), radius: radius}
-	frontier := make([]string, 0, len(seeds))
-	for _, s := range seeds {
-		if !rm.inside[s] {
-			rm.inside[s] = true
-			rm.names = append(rm.names, s)
-			frontier = append(frontier, s)
+		rm.inside[s] = true
+		rm.names = append(rm.names, s)
+		if n := rb.nw.NodeByName(s); n != nil {
+			rb.frontier = append(rb.frontier, n)
 		}
 	}
-	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
-		var next []string
-		for _, n := range frontier {
-			for _, m := range adj[n] {
-				if !rm.inside[m] {
-					rm.inside[m] = true
-					rm.names = append(rm.names, m)
-					next = append(next, m)
+	for hop := 0; hop < radius && len(rb.frontier) > 0; hop++ {
+		rb.next = rb.next[:0]
+		for _, n := range rb.frontier {
+			n.Ports().Each(func(_ int, l *netem.Link, end int) {
+				peer, _ := l.Peer(end)
+				if peer == nil {
+					return
 				}
-			}
+				name := peer.Name()
+				if rm.inside[name] {
+					return
+				}
+				rm.inside[name] = true
+				rm.names = append(rm.names, name)
+				if pn, ok := peer.(netem.Node); ok {
+					rb.next = append(rb.next, pn)
+				}
+			})
 		}
-		frontier = next
+		rb.frontier, rb.next = rb.next, rb.frontier
 	}
 	return rm
 }

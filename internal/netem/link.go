@@ -115,6 +115,11 @@ type CrossPost interface {
 type Link struct {
 	name string
 	id   uint64
+	// denseIdx is the link's position in its Network's creation-order
+	// link list, or -1 for links built outside a Network. The fluid
+	// tier uses it to index per-(link, direction) state with a slice
+	// instead of a map.
+	denseIdx int
 	// scheds[end] is the scheduler of the node attached at end; both
 	// entries are the same scheduler unless the link crosses partitions.
 	scheds [2]*sim.Scheduler
@@ -150,16 +155,35 @@ var linkIDs atomic.Uint64
 
 // NewLink creates an unattached link. Most callers use Connect instead.
 func NewLink(sched *sim.Scheduler, name string, cfg LinkConfig) *Link {
-	return &Link{
-		name:   name,
-		id:     linkIDs.Add(1),
-		scheds: [2]*sim.Scheduler{sched, sched},
-		cfg:    cfg,
-	}
+	l := &Link{}
+	l.init(sched, name, linkIDs.Add(1), cfg)
+	return l
 }
 
-// Name returns the link's diagnostic name.
-func (l *Link) Name() string { return l.name }
+// init fills in a (possibly arena-allocated) zero link.
+func (l *Link) init(sched *sim.Scheduler, name string, id uint64, cfg LinkConfig) {
+	l.name = name
+	l.id = id
+	l.denseIdx = -1
+	l.scheds = [2]*sim.Scheduler{sched, sched}
+	l.cfg = cfg
+}
+
+// Name returns the link's diagnostic name. Links created through a
+// Network synthesise it lazily from their attachments — at half a
+// million links the name strings are pure build-time overhead, so they
+// are only materialised when something actually asks.
+func (l *Link) Name() string {
+	if l.name == "" && l.ends[0].recv != nil && l.ends[1].recv != nil {
+		l.name = fmt.Sprintf("%s:%d<->%s:%d",
+			l.ends[0].recv.Name(), l.ends[0].port, l.ends[1].recv.Name(), l.ends[1].port)
+	}
+	return l.name
+}
+
+// Index returns the link's position in its Network's creation-order
+// link list (-1 for standalone links).
+func (l *Link) Index() int { return l.denseIdx }
 
 // Attach binds one end of the link to a receiver port. end is 0 or 1.
 func (l *Link) Attach(end int, r Receiver, port int) {

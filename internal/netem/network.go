@@ -19,8 +19,15 @@ type Node interface {
 
 // Ports is the port table a Node embeds (as a named field) to send packets
 // out of numbered ports. The zero value is ready to use.
+//
+// Port indices produced by topology construction are small and dense
+// (0..arity), so the table is a slice indexed by port; a map catches
+// negative or absurdly large indices (hand-crafted test harnesses only).
+// At fat-tree scale this removes one map allocation and hash per node
+// and per packet hop.
 type Ports struct {
-	byIdx map[int]portRef
+	dense  []portRef
+	sparse map[int]portRef
 }
 
 type portRef struct {
@@ -28,53 +35,122 @@ type portRef struct {
 	end  int
 }
 
+// maxDensePort bounds the dense port slice; topology builders never
+// exceed it.
+const maxDensePort = 4096
+
+// Grow pre-sizes the dense table to hold ports 0..n-1. Calling it before
+// concurrent wiring (ReserveLinks batches) is what makes distinct-port
+// Bind calls on the same node race-free: each bind then writes its own
+// element and never reallocates the slice.
+func (ps *Ports) Grow(n int) {
+	if n > maxDensePort {
+		n = maxDensePort
+	}
+	if n > len(ps.dense) {
+		grown := make([]portRef, n)
+		copy(grown, ps.dense)
+		ps.dense = grown
+	}
+}
+
 // Bind associates local port idx with one end of a link. Bind panics on
 // double-binding, which is always a topology-construction bug.
 func (ps *Ports) Bind(idx int, l *Link, end int) {
-	if ps.byIdx == nil {
-		ps.byIdx = make(map[int]portRef)
+	if idx < 0 || idx >= maxDensePort {
+		if ps.sparse == nil {
+			ps.sparse = make(map[int]portRef)
+		}
+		if _, dup := ps.sparse[idx]; dup {
+			panic(fmt.Sprintf("netem: port %d bound twice", idx))
+		}
+		ps.sparse[idx] = portRef{link: l, end: end}
+		return
 	}
-	if _, dup := ps.byIdx[idx]; dup {
+	if idx >= len(ps.dense) {
+		ps.Grow(idx + 1)
+	}
+	if ps.dense[idx].link != nil {
 		panic(fmt.Sprintf("netem: port %d bound twice", idx))
 	}
-	ps.byIdx[idx] = portRef{link: l, end: end}
+	ps.dense[idx] = portRef{link: l, end: end}
 }
 
 // Send transmits pkt out of local port idx. It reports whether the packet
 // was accepted by the link (false on tail drop, link down, or unbound
 // port).
 func (ps *Ports) Send(idx int, pkt *packet.Packet) bool {
-	ref, ok := ps.byIdx[idx]
-	if !ok {
+	ref := ps.ref(idx)
+	if ref.link == nil {
 		return false
 	}
 	return ref.link.Send(ref.end, pkt)
 }
 
+func (ps *Ports) ref(idx int) portRef {
+	if idx >= 0 && idx < len(ps.dense) {
+		return ps.dense[idx]
+	}
+	return ps.sparse[idx]
+}
+
 // Link returns the link bound to port idx, or nil.
 func (ps *Ports) Link(idx int) *Link {
-	return ps.byIdx[idx].link
+	return ps.ref(idx).link
 }
 
 // Ref returns the link bound to port idx together with the local end
 // (the end this node transmits from) — the (link, direction) pair the
 // fluid tier's path builder needs. The link is nil for unbound ports.
 func (ps *Ports) Ref(idx int) (*Link, int) {
-	ref := ps.byIdx[idx]
+	ref := ps.ref(idx)
 	return ref.link, ref.end
 }
 
 // Count returns the number of bound ports.
-func (ps *Ports) Count() int { return len(ps.byIdx) }
+func (ps *Ports) Count() int {
+	n := len(ps.sparse)
+	for i := range ps.dense {
+		if ps.dense[i].link != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // List returns the bound port indices in ascending order.
 func (ps *Ports) List() []int {
-	out := make([]int, 0, len(ps.byIdx))
-	for idx := range ps.byIdx {
+	out := make([]int, 0, len(ps.dense)+len(ps.sparse))
+	for idx := range ps.sparse {
 		out = append(out, idx)
 	}
-	sort.Ints(out)
+	for i := range ps.dense {
+		if ps.dense[i].link != nil {
+			out = append(out, i)
+		}
+	}
+	if len(ps.sparse) > 0 {
+		sort.Ints(out)
+	}
 	return out
+}
+
+// Each calls fn for every bound port in ascending index order, without
+// allocating. Region BFS and other topology walks use it in place of
+// List on hot paths.
+func (ps *Ports) Each(fn func(idx int, l *Link, end int)) {
+	if len(ps.sparse) == 0 {
+		for i := range ps.dense {
+			if ps.dense[i].link != nil {
+				fn(i, ps.dense[i].link, ps.dense[i].end)
+			}
+		}
+		return
+	}
+	for _, idx := range ps.List() {
+		ref := ps.ref(idx)
+		fn(idx, ref.link, ref.end)
+	}
 }
 
 // Network owns a simulation's nodes and links and provides topology
@@ -89,11 +165,36 @@ type Network struct {
 	nodes map[string]Node
 	links []*Link
 
+	// arena is the slab the network's links are allocated from: fixed
+	// chunks, so pointers into a chunk stay valid forever and topology
+	// build does one allocation per linkArenaChunk links instead of one
+	// per link.
+	arena     []Link
+	arenaUsed int
+
 	// Partitioned-mode wiring (nil/zero in serial networks).
 	scheds   []*sim.Scheduler
 	assign   func(name string) int
 	cross    func(src, dst int) CrossPost
 	minCross time.Duration
+}
+
+// linkArenaChunk is the slab size for link allocation.
+const linkArenaChunk = 4096
+
+// allocLinks returns n contiguous zero links from the arena (one fresh
+// chunk if the current one cannot fit them).
+func (n *Network) allocLinks(count int) []Link {
+	if count > linkArenaChunk {
+		return make([]Link, count)
+	}
+	if n.arenaUsed+count > len(n.arena) {
+		n.arena = make([]Link, linkArenaChunk)
+		n.arenaUsed = 0
+	}
+	out := n.arena[n.arenaUsed : n.arenaUsed+count]
+	n.arenaUsed += count
+	return out
 }
 
 // New creates an empty network on the given scheduler.
@@ -168,15 +269,25 @@ func (n *Network) Links() []*Link { return n.links }
 // Connect creates a duplex link between a's port aPort and b's port bPort
 // and binds both ends.
 func (n *Network) Connect(a Node, aPort int, b Node, bPort int, cfg LinkConfig) *Link {
-	name := fmt.Sprintf("%s:%d<->%s:%d", a.Name(), aPort, b.Name(), bPort)
-	l := NewLink(n.SchedulerFor(a.Name()), name, cfg)
+	l := &n.allocLinks(1)[0]
+	l.init(n.SchedulerFor(a.Name()), "", linkIDs.Add(1), cfg)
+	l.denseIdx = len(n.links)
+	n.links = append(n.links, l)
+	n.wire(l, a, aPort, b, bPort, cfg)
+	return l
+}
+
+// wire binds both ends of an initialised link and applies partitioned-
+// mode scheduler/boundary assignment.
+func (n *Network) wire(l *Link, a Node, aPort int, b Node, bPort int, cfg LinkConfig) {
 	if n.scheds != nil {
 		da, db := n.DomainOf(a.Name()), n.DomainOf(b.Name())
 		l.scheds[0] = n.scheds[da]
 		l.scheds[1] = n.scheds[db]
 		if da != db {
 			if cfg.Delay <= 0 {
-				panic(fmt.Sprintf("netem: cross-partition link %s has zero delay; no lookahead bound", name))
+				panic(fmt.Sprintf("netem: cross-partition link %s:%d<->%s:%d has zero delay; no lookahead bound",
+					a.Name(), aPort, b.Name(), bPort))
 			}
 			l.cross[0] = n.cross(da, db)
 			l.cross[1] = n.cross(db, da)
@@ -189,6 +300,52 @@ func (n *Network) Connect(a Node, aPort int, b Node, bPort int, cfg LinkConfig) 
 	l.Attach(1, b, bPort)
 	a.Ports().Bind(aPort, l, 0)
 	b.Ports().Bind(bPort, l, 1)
-	n.links = append(n.links, l)
+}
+
+// LinkBatch is a contiguous block of links reserved up front so wiring
+// can proceed concurrently with deterministic link ids: slot s always
+// carries id base+s, whatever goroutine fills it. The PR 5 same-instant
+// tie-break bands (link-id order == creation order) are therefore a
+// function of the slot layout alone, which builders define to match the
+// serial wiring order exactly.
+type LinkBatch struct {
+	net   *Network
+	links []*Link
+}
+
+// ReserveLinks preallocates count links with consecutive ids and
+// registers them (in slot order) in the network's link list. Fill every
+// slot with Connect before the simulation starts; reservation itself is
+// serial-only.
+func (n *Network) ReserveLinks(count int) *LinkBatch {
+	slab := n.allocLinks(count)
+	base := linkIDs.Add(uint64(count)) - uint64(count)
+	b := &LinkBatch{net: n, links: make([]*Link, count)}
+	for i := range slab {
+		l := &slab[i]
+		l.id = base + uint64(i) + 1
+		l.denseIdx = len(n.links)
+		n.links = append(n.links, l)
+		b.links[i] = l
+	}
+	return b
+}
+
+// Len returns the number of reserved slots.
+func (b *LinkBatch) Len() int { return len(b.links) }
+
+// Connect wires slot into a duplex link like Network.Connect. Distinct
+// slots may be wired from distinct goroutines, provided no two
+// goroutines touch the same node's port table without pre-growing it
+// (Ports.Grow) and every slot is filled before events run.
+func (b *LinkBatch) Connect(slot int, a Node, aPort int, bn Node, bPort int, cfg LinkConfig) *Link {
+	l := b.links[slot]
+	if l.scheds[0] != nil {
+		panic(fmt.Sprintf("netem: batch slot %d wired twice", slot))
+	}
+	sched := b.net.SchedulerFor(a.Name())
+	l.scheds = [2]*sim.Scheduler{sched, sched}
+	l.cfg = cfg
+	b.net.wire(l, a, aPort, bn, bPort, cfg)
 	return l
 }

@@ -65,7 +65,10 @@ type FlowTable struct {
 	// microflow cache trusts a slot only when its generation matches.
 	gen uint64
 
-	micro microCache
+	// micro is allocated on the first cache fill: a fluid-tier fabric
+	// builds tens of thousands of switches that never see a packet, and
+	// the 16 KiB cache array would dominate their footprint.
+	micro *microCache
 	ts    tupleSpace
 
 	// Deadline-ordered expiry state (expiry.go).
@@ -248,7 +251,10 @@ func (t *FlowTable) Delete(m Match, priority uint16, strict bool, outPort uint16
 func (t *FlowTable) Lookup(inPort uint16, pkt *packet.Packet) *FlowEntry {
 	t.stats.Lookups++
 	hash := packet.HeaderKey(pkt)
-	e := t.micro.get(hash, inPort, t.gen, pkt)
+	var e *FlowEntry
+	if t.micro != nil {
+		e = t.micro.get(hash, inPort, t.gen, pkt)
+	}
 	if e != nil {
 		t.stats.MicroflowHits++
 	} else {
@@ -257,6 +263,9 @@ func (t *FlowTable) Lookup(inPort uint16, pkt *packet.Packet) *FlowEntry {
 		if e == nil {
 			t.Misses++
 			return nil
+		}
+		if t.micro == nil {
+			t.micro = new(microCache)
 		}
 		t.micro.put(hash, inPort, t.gen, e)
 	}

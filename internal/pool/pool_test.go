@@ -1,0 +1,58 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMapOrderAndValues(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, errs := Map(context.Background(), workers, 10, func(i int) (int, error) {
+			return i * i, nil
+		})
+		for i := 0; i < 10; i++ {
+			if errs[i] != nil || got[i] != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, err %v", workers, i, got[i], errs[i])
+			}
+		}
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	got, errs := Map(context.Background(), 4, 3, func(i int) (int, error) {
+		if i == 1 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if errs[0] != nil || errs[2] != nil || got[2] != 2 {
+		t.Fatalf("healthy slots disturbed: %v %v", got, errs)
+	}
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("panic not wrapped: %v", errs[1])
+	}
+}
+
+func TestMapContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := Map(ctx, 2, 4, func(i int) (int, error) {
+		t.Fatal("fn invoked after cancellation")
+		return 0, nil
+	})
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	got, errs := Map(context.Background(), 4, 0, func(i int) (int, error) { return i, nil })
+	if len(got) != 0 || len(errs) != 0 {
+		t.Fatalf("zero-item map returned %v %v", got, errs)
+	}
+}

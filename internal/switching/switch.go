@@ -100,13 +100,15 @@ var _ netem.Node = (*Switch)(nil)
 
 // New creates a switch on the scheduler.
 func New(sched *sim.Scheduler, cfg Config) *Switch {
+	// blockedIngress and portStats (the sparse port-counter fallback)
+	// allocate lazily: nil-map reads, ranges and deletes are all legal,
+	// so only the write paths materialise them, and the fluid-tier
+	// switches of a scaled fabric stay map-free.
 	sw := &Switch{
-		cfg:            cfg,
-		sched:          sched,
-		table:          openflow.NewFlowTable(sched),
-		proc:           netem.NewProc(sched, cfg.ProcDelay, cfg.ProcQueue),
-		blockedIngress: make(map[int]time.Duration),
-		portStats:      make(map[int]*PortCounters),
+		cfg:   cfg,
+		sched: sched,
+		table: openflow.NewFlowTable(sched),
+		proc:  netem.NewProc(sched, cfg.ProcDelay, cfg.ProcQueue),
 	}
 	sw.table.OnRemoved = sw.flowRemoved
 	return sw
@@ -161,6 +163,9 @@ func (sw *Switch) portCountersSlow(port int) *PortCounters {
 	if port < 0 || port >= maxDensePort {
 		pc, ok := sw.portStats[port]
 		if !ok {
+			if sw.portStats == nil {
+				sw.portStats = make(map[int]*PortCounters)
+			}
 			pc = &PortCounters{}
 			sw.portStats[port] = pc
 		}
@@ -190,6 +195,9 @@ func (sw *Switch) BlockIngress(port int, d time.Duration) {
 	}
 	until := now + d
 	if cur, ok := sw.blockedIngress[port]; !ok || until > cur {
+		if sw.blockedIngress == nil {
+			sw.blockedIngress = make(map[int]time.Duration)
+		}
 		sw.blockedIngress[port] = until
 	}
 }

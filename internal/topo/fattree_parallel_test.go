@@ -1,0 +1,95 @@
+package topo_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/sim"
+	"netco/internal/topo"
+)
+
+// wiringSignature flattens a fat-tree build into a canonical description
+// of every port binding: node name, port, link creation-order index,
+// link name (which encodes both endpoints and ports), and which end the
+// node transmits from. Two builds producing equal signatures have wired
+// every physical link identically AND created them in the same order —
+// the property that keeps same-instant event tie-break bands stable.
+func wiringSignature(t *testing.T, net *netem.Network, ft *topo.FatTree) []string {
+	t.Helper()
+	var sig []string
+	addNode := func(name string, ps *netem.Ports) {
+		ps.Each(func(idx int, l *netem.Link, end int) {
+			sig = append(sig, fmt.Sprintf("%s#%d@%d=%s/%d", name, idx, end, l.Name(), l.Index()))
+		})
+	}
+	for _, c := range ft.Cores {
+		addNode(c.Name(), c.Ports())
+	}
+	for _, pod := range ft.Pods {
+		for _, a := range pod.Agg {
+			addNode(a.Name(), a.Ports())
+		}
+		for _, e := range pod.Edge {
+			addNode(e.Name(), e.Ports())
+		}
+	}
+	if len(net.Links()) == 0 {
+		t.Fatal("no links created")
+	}
+	return sig
+}
+
+// TestFatTreeParallelWiringMatchesSerial pins the parallel build's
+// determinism contract: at any worker count, every switch port is bound
+// to the same physical link at the same creation-order position as a
+// serial build.
+func TestFatTreeParallelWiringMatchesSerial(t *testing.T) {
+	build := func(workers int) []string {
+		sched := sim.NewScheduler()
+		net := netem.New(sched)
+		ft := topo.BuildFatTree(net, topo.FatTreeParams{
+			Arity:   6,
+			Link:    netem.LinkConfig{Bandwidth: 1e9, Delay: time.Microsecond},
+			Workers: workers,
+		})
+		return wiringSignature(t, net, ft)
+	}
+	serial := build(1)
+	for _, workers := range []int{2, 4, 8} {
+		parallel := build(workers)
+		if len(serial) != len(parallel) {
+			t.Fatalf("workers=%d: signature length %d vs serial %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("workers=%d: wiring diverged at entry %d: %q vs %q",
+					workers, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+// TestFatTreeParallelLinkCount sanity-checks the batch covers exactly
+// the fabric: k pods × 2×(k/2)² links, every slot wired.
+func TestFatTreeParallelLinkCount(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.New(sched)
+	topo.BuildFatTree(net, topo.FatTreeParams{Arity: 4, Workers: 3})
+	want := 4 * 2 * 2 * 2 // k * 2 * (k/2)²
+	if got := len(net.Links()); got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+	for i, l := range net.Links() {
+		if l.Index() != i {
+			t.Fatalf("link %d has Index %d", i, l.Index())
+		}
+		if a, _ := l.Peer(1); a == nil {
+			t.Fatalf("link %d end 0 unattached", i)
+		}
+		if b, _ := l.Peer(0); b == nil {
+			t.Fatalf("link %d end 1 unattached", i)
+		}
+	}
+}

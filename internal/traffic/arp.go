@@ -20,16 +20,24 @@ const (
 	arpMaxRetries    = 3
 )
 
-func newARPState() *arpState {
-	return &arpState{
-		cache:   make(map[packet.IPAddr]packet.MAC),
-		pending: make(map[packet.IPAddr][]func(packet.MAC, bool)),
-		retries: make(map[packet.IPAddr]int),
+// arpLazy returns the host's ARP state, allocating it on first use so
+// hosts that never touch the packet stack stay map-free.
+func (h *Host) arpLazy() *arpState {
+	if h.arp == nil {
+		h.arp = &arpState{
+			cache:   make(map[packet.IPAddr]packet.MAC),
+			pending: make(map[packet.IPAddr][]func(packet.MAC, bool)),
+			retries: make(map[packet.IPAddr]int),
+		}
 	}
+	return h.arp
 }
 
 // ARPCache returns a snapshot of the host's resolution cache.
 func (h *Host) ARPCache() map[packet.IPAddr]packet.MAC {
+	if h.arp == nil {
+		return map[packet.IPAddr]packet.MAC{}
+	}
 	out := make(map[packet.IPAddr]packet.MAC, len(h.arp.cache))
 	for ip, mac := range h.arp.cache {
 		out[ip] = mac
@@ -41,6 +49,7 @@ func (h *Host) ARPCache() map[packet.IPAddr]packet.MAC {
 // broadcasting ARP requests (with retries). done fires exactly once with
 // (mac, true) on success or (zero, false) after the retries expire.
 func (h *Host) Resolve(ip packet.IPAddr, done func(packet.MAC, bool)) {
+	h.arpLazy()
 	if mac, ok := h.arp.cache[ip]; ok {
 		done(mac, true)
 		return
@@ -59,7 +68,7 @@ func (h *Host) sendARPRequest(ip packet.IPAddr) {
 }
 
 func (h *Host) arpRetry(ip packet.IPAddr) {
-	if len(h.arp.pending[ip]) == 0 {
+	if h.arp == nil || len(h.arp.pending[ip]) == 0 {
 		return // resolved meanwhile
 	}
 	h.arp.retries[ip]++
@@ -84,6 +93,7 @@ func (h *Host) handleARP(pkt *packet.Packet) {
 	}
 	// Opportunistic learning from any valid sender binding.
 	if a.SenderIP != (packet.IPAddr{}) {
+		h.arpLazy()
 		h.arp.cache[a.SenderIP] = a.SenderMAC
 		if waiters := h.arp.pending[a.SenderIP]; len(waiters) > 0 {
 			delete(h.arp.pending, a.SenderIP)

@@ -19,11 +19,22 @@ import (
 // tractable: cost scales with rate *changes* (epoch settles), not with
 // packets.
 //
-// Determinism contract: the allocator never iterates a Go map. Flows
-// are processed in creation order and link directions in first-touch
-// order, so identical construction sequences produce bit-identical
+// Determinism contract: the allocator never iterates a Go map. Flow and
+// link-direction worklists are built in event order and traversed as
+// slices, so identical construction sequences produce bit-identical
 // allocations, loads, and delivered-byte counters regardless of host,
 // worker count, or run repetition.
+//
+// Settles are incremental: a flow start/stop/retarget or a capacity
+// change marks its flow (or direction) dirty, and the settle pass
+// re-solves only the connected components of the flow/direction
+// dependency graph that contain a dirty seed. Flows in untouched
+// components keep their rates — safe because a component is closed
+// under "shares a link direction with", so no constraint of an
+// untouched flow has changed. Each component is solved from scratch by
+// progressive filling, and FluidConfig.FullResettle (the reference
+// oracle) simply seeds every component dirty; both modes run the same
+// per-component solver, which is what makes them bit-identical.
 
 // Hop is one directed link traversal on a fluid flow's path: the link
 // plus the end the flow transmits from (netem's 0/1 orientation, as
@@ -54,6 +65,22 @@ type FluidConfig struct {
 	// an epoch (flow starts, stops, demand edits) are coalesced and
 	// applied together at the next epoch boundary. Default 10 ms.
 	Epoch time.Duration
+
+	// FullResettle disables the dirty-set optimisation: every settle
+	// re-solves every connected component from scratch. This is the
+	// reference oracle the incremental mode is differentially tested
+	// against; both run the same per-component solver, so their rates
+	// are bit-identical.
+	FullResettle bool
+
+	// CongestionRho, when > 0, fires OnCongested after a settle for
+	// every active, unpromoted flow crossing a direction whose
+	// utilisation load/cap reached the threshold. Callbacks fire in
+	// deterministic order (dirty-seed order, then per-direction flow
+	// order), once per flow per settle, after all loads are pushed —
+	// so a callback may promote the flow immediately.
+	CongestionRho float64
+	OnCongested   func(f *FluidFlow, rho float64)
 }
 
 // fluidDir is the allocator's per-(link, direction) state.
@@ -62,10 +89,27 @@ type fluidDir struct {
 	end  int
 	cap  float64 // link capacity in bits/s; 0 = unconstrained
 
+	// flows lists every path occurrence of a listed flow through this
+	// direction (a flow appears once per traversal), maintained by
+	// list/unlist with swap-removal. It is the edge set the settle
+	// pass's component BFS walks.
+	flows []dirFlow
+
+	dirty bool // queued in dirtyDirs for the next settle
+	mark  int  // settle generation this dir was last visited in
+
 	// Scratch for one settle pass.
 	load     float64 // total allocated rate through this direction
 	unfrozen int     // flows still receiving increments
 	sat      bool    // saturated this round
+}
+
+// dirFlow is one path occurrence of a flow through a direction: the
+// flow plus the index of this direction in the flow's own hop list
+// (so a swap-removal can fix the moved occurrence's back-pointer).
+type dirFlow struct {
+	f  *FluidFlow
+	di int
 }
 
 type dirKey struct {
@@ -79,15 +123,39 @@ type FluidNet struct {
 	sched *sim.Scheduler
 	epoch time.Duration
 
-	flows  []*FluidFlow // active + recently-stopped, creation order
+	flows  []*FluidFlow // listed flows (order perturbed by swap-removal)
 	dirs   []*fluidDir  // first-touch order
 	dirOf  map[dirKey]*fluidDir
 	nextID int
 
-	dirty   bool
-	armed   bool
-	timer   sim.Timer
-	settles uint64
+	// Dirty seeds for the next settle, in event order. A flow or dir
+	// appears at most once (guarded by its dirty flag).
+	dirtyFlows []*FluidFlow
+	dirtyDirs  []*fluidDir
+
+	// Settle scratch, reused across passes so the steady-state settle
+	// path allocates nothing.
+	compFlows []*FluidFlow
+	compDirs  []*fluidDir
+	congested []congEvent
+	seeds     []*FluidFlow // full-mode snapshot of flows (delisting-safe)
+	gen       int
+
+	full    bool
+	congRho float64
+	onCong  func(f *FluidFlow, rho float64)
+
+	dirty     bool
+	armed     bool
+	timer     sim.Timer
+	onEpochFn func()
+	settles   uint64
+}
+
+// congEvent is one pending OnCongested callback.
+type congEvent struct {
+	f   *FluidFlow
+	rho float64
 }
 
 // NewFluidNet creates an empty fluid tier on the scheduler.
@@ -95,11 +163,16 @@ func NewFluidNet(sched *sim.Scheduler, cfg FluidConfig) *FluidNet {
 	if cfg.Epoch <= 0 {
 		cfg.Epoch = 10 * time.Millisecond
 	}
-	return &FluidNet{
-		sched: sched,
-		epoch: cfg.Epoch,
-		dirOf: make(map[dirKey]*fluidDir),
+	fn := &FluidNet{
+		sched:   sched,
+		epoch:   cfg.Epoch,
+		dirOf:   make(map[dirKey]*fluidDir),
+		full:    cfg.FullResettle,
+		congRho: cfg.CongestionRho,
+		onCong:  cfg.OnCongested,
 	}
+	fn.onEpochFn = fn.onEpoch // bound once; arming a timer allocates nothing
+	return fn
 }
 
 // Epoch returns the reallocation quantum.
@@ -133,14 +206,17 @@ func (fn *FluidNet) NewFlow(demand float64, path []Hop) *FluidFlow {
 		net:    fn,
 		id:     fn.nextID,
 		demand: demand,
-		dirs:   make([]*fluidDir, len(path)),
 	}
 	fn.nextID++
-	for i, h := range path {
-		if h.Link == nil {
-			panic(fmt.Sprintf("traffic: fluid flow %d hop %d has nil link", f.id, i))
+	if len(path) > 0 {
+		f.dirs = make([]*fluidDir, len(path))
+		for i, h := range path {
+			if h.Link == nil {
+				panic(fmt.Sprintf("traffic: fluid flow %d hop %d has nil link", f.id, i))
+			}
+			f.dirs[i] = fn.dirFor(h)
 		}
-		f.dirs[i] = fn.dirFor(h)
+		f.posInDir = make([]int, len(path))
 	}
 	return f
 }
@@ -156,6 +232,69 @@ func (fn *FluidNet) dirFor(h Hop) *fluidDir {
 	return d
 }
 
+// SetCapacity overrides the allocator's capacity for the (link, end)
+// direction — chaos hooks and tests use it to model capacity changes.
+// It is a no-op for a direction no fluid flow has ever traversed. The
+// new allocation takes effect at the next epoch boundary.
+func (fn *FluidNet) SetCapacity(l *netem.Link, end int, bps float64) {
+	d, ok := fn.dirOf[dirKey{link: l, end: end}]
+	if !ok || d.cap == bps {
+		return
+	}
+	d.cap = bps
+	fn.dirtyDir(d)
+	fn.markDirty()
+}
+
+// dirtyFlow queues f as a settle seed (once per settle).
+func (fn *FluidNet) dirtyFlow(f *FluidFlow) {
+	if !f.dirtyMk {
+		f.dirtyMk = true
+		fn.dirtyFlows = append(fn.dirtyFlows, f)
+	}
+}
+
+// dirtyDir queues d as a settle seed (once per settle).
+func (fn *FluidNet) dirtyDir(d *fluidDir) {
+	if !d.dirty {
+		d.dirty = true
+		fn.dirtyDirs = append(fn.dirtyDirs, d)
+	}
+}
+
+// list enters f into the allocator: the flow list plus every traversed
+// direction's occurrence list.
+func (fn *FluidNet) list(f *FluidFlow) {
+	f.listed = true
+	f.listPos = len(fn.flows)
+	fn.flows = append(fn.flows, f)
+	for i, d := range f.dirs {
+		f.posInDir[i] = len(d.flows)
+		d.flows = append(d.flows, dirFlow{f: f, di: i})
+	}
+}
+
+// unlist removes f from the allocator by swap-removal, fixing the
+// back-pointers of whatever moved into the vacated slots.
+func (fn *FluidNet) unlist(f *FluidFlow) {
+	for i, d := range f.dirs {
+		p := f.posInDir[i]
+		last := len(d.flows) - 1
+		moved := d.flows[last]
+		d.flows[p] = moved
+		moved.f.posInDir[moved.di] = p
+		d.flows[last] = dirFlow{} // release the pointer to the GC
+		d.flows = d.flows[:last]
+	}
+	p := f.listPos
+	last := len(fn.flows) - 1
+	fn.flows[p] = fn.flows[last]
+	fn.flows[p].listPos = p
+	fn.flows[last] = nil
+	fn.flows = fn.flows[:last]
+	f.listed = false
+}
+
 // markDirty schedules a settle at the next epoch boundary (strictly
 // after now), coalescing every change requested inside the epoch into
 // one reallocation.
@@ -167,7 +306,7 @@ func (fn *FluidNet) markDirty() {
 	fn.armed = true
 	now := fn.sched.Now()
 	boundary := (now/fn.epoch + 1) * fn.epoch
-	fn.timer = fn.sched.After(boundary-now, fn.onEpoch)
+	fn.timer = fn.sched.After(boundary-now, fn.onEpochFn)
 }
 
 func (fn *FluidNet) onEpoch() {
@@ -177,30 +316,142 @@ func (fn *FluidNet) onEpoch() {
 	}
 }
 
-// settle recomputes the max-min fair allocation by progressive filling:
-// all unfrozen flows' rates rise in lockstep until a flow hits its
-// demand or a link direction saturates; affected flows freeze and the
-// filling continues among the rest. Each round freezes at least one
-// flow, so the pass terminates in at most len(flows) rounds (uniform
-// demands collapse to one or two).
+// settle re-solves every connected component of the flow/direction
+// graph that contains a dirty seed. Components are discovered by BFS
+// from each seed and solved one at a time, in seed order; flows in
+// components with no seed keep their rates and are not even visited —
+// the pass costs O(size of the dirty components), not O(flows).
+//
+// In FullResettle mode every flow and direction is seeded, which makes
+// every settle a from-scratch solve of every component through the
+// identical code path — the oracle the incremental mode is compared
+// against bit for bit.
 func (fn *FluidNet) settle() {
 	fn.dirty = false
 	now := fn.sched.Now()
+	fn.gen++
 
-	// Accrue every flow to now at its old rate before changing anything,
-	// and compact out flows that have fully stopped.
-	act := fn.flows[:0]
-	for _, f := range fn.flows {
+	fn.congested = fn.congested[:0]
+	if fn.full {
+		// Seed everything. Still one solve per component: solveComponent
+		// skips seeds already swept into an earlier component this
+		// generation, so full mode differs from incremental mode only in
+		// which components it visits, never in how it solves one. The
+		// flow list is snapshotted because solves delist stopped flows
+		// by swap-removal; a snapshot entry delisted early is marked, so
+		// the generation check skips it.
+		fn.seeds = append(fn.seeds[:0], fn.flows...)
+		for i, f := range fn.seeds {
+			fn.seeds[i] = nil
+			if f.mark != fn.gen {
+				fn.solveComponent(f, nil, now)
+			}
+		}
+		fn.seeds = fn.seeds[:0]
+		for _, d := range fn.dirs {
+			if d.mark != fn.gen {
+				fn.solveComponent(nil, d, now)
+			}
+		}
+		// Event-order seeds may include flows delisted above; their
+		// flags still need clearing.
+		for i, f := range fn.dirtyFlows {
+			f.dirtyMk = false
+			fn.dirtyFlows[i] = nil
+		}
+		for i, d := range fn.dirtyDirs {
+			d.dirty = false
+			fn.dirtyDirs[i] = nil
+		}
+	} else {
+		for i, f := range fn.dirtyFlows {
+			f.dirtyMk = false
+			fn.dirtyFlows[i] = nil
+			if f.mark != fn.gen {
+				fn.solveComponent(f, nil, now)
+			}
+		}
+		for i, d := range fn.dirtyDirs {
+			d.dirty = false
+			fn.dirtyDirs[i] = nil
+			if d.mark != fn.gen {
+				fn.solveComponent(nil, d, now)
+			}
+		}
+	}
+	fn.dirtyFlows = fn.dirtyFlows[:0]
+	fn.dirtyDirs = fn.dirtyDirs[:0]
+	fn.settles++
+
+	// Congestion callbacks fire last, after every component's loads are
+	// pushed, so a callback sees a consistent network and may promote.
+	for i := range fn.congested {
+		ev := fn.congested[i]
+		fn.congested[i] = congEvent{}
+		fn.onCong(ev.f, ev.rho)
+	}
+	fn.congested = fn.congested[:0]
+}
+
+// solveComponent BFS-discovers the connected component containing the
+// seed (a flow or a direction), re-runs progressive filling over it
+// from scratch, pushes the resulting loads into the packet tier and
+// retargets promoted flows' expanders. Stopped flows found along the
+// way are accrued and delisted. Visited nodes are stamped with the
+// settle generation so overlapping seeds coalesce into one solve.
+func (fn *FluidNet) solveComponent(seedF *FluidFlow, seedD *fluidDir, now time.Duration) {
+	flows := fn.compFlows[:0]
+	dirs := fn.compDirs[:0]
+	if seedF != nil {
+		seedF.mark = fn.gen
+		flows = append(flows, seedF)
+	}
+	if seedD != nil {
+		seedD.mark = fn.gen
+		dirs = append(dirs, seedD)
+	}
+	for fi, di := 0, 0; fi < len(flows) || di < len(dirs); {
+		for ; fi < len(flows); fi++ {
+			for _, d := range flows[fi].dirs {
+				if d.mark != fn.gen {
+					d.mark = fn.gen
+					dirs = append(dirs, d)
+				}
+			}
+		}
+		for ; di < len(dirs); di++ {
+			for _, e := range dirs[di].flows {
+				if e.f.mark != fn.gen {
+					e.f.mark = fn.gen
+					flows = append(flows, e.f)
+				}
+			}
+		}
+	}
+
+	// Accrue every touched flow to now at its old rate before changing
+	// anything, and delist flows that have fully stopped. (Untouched
+	// flows need no accrual: their rate is constant, so the lazy accrue
+	// at next touch integrates the same total.)
+	act := flows[:0]
+	for _, f := range flows {
 		f.accrue(now)
 		if f.active {
 			act = append(act, f)
-		} else {
-			f.listed = false
+		} else if f.listed {
+			fn.unlist(f)
 		}
 	}
-	fn.flows = act
 
-	for _, d := range fn.dirs {
+	// Progressive filling over the component: all unfrozen flows' rates
+	// rise in lockstep until a flow hits its demand or a direction
+	// saturates; affected flows freeze and the filling continues among
+	// the rest. Each round freezes at least one flow, so the solve
+	// terminates in at most len(act) rounds (uniform demands collapse
+	// to one or two). Every arithmetic step is a min-reduction or a
+	// per-entity update, so the result does not depend on the BFS visit
+	// order — only on the component's membership, which is unique.
+	for _, d := range dirs {
 		d.load, d.unfrozen, d.sat = 0, 0, false
 	}
 	for _, f := range act {
@@ -210,13 +461,12 @@ func (fn *FluidNet) settle() {
 			d.unfrozen++
 		}
 	}
-
 	unfrozen := len(act)
 	for unfrozen > 0 {
 		// Smallest increment that saturates a direction or satisfies a
 		// demand.
 		inc := math.Inf(1)
-		for _, d := range fn.dirs {
+		for _, d := range dirs {
 			if d.unfrozen == 0 || d.cap <= 0 {
 				continue
 			}
@@ -240,7 +490,7 @@ func (fn *FluidNet) settle() {
 				f.rate += inc
 			}
 		}
-		for _, d := range fn.dirs {
+		for _, d := range dirs {
 			d.load += inc * float64(d.unfrozen)
 			d.sat = d.cap > 0 && d.load >= d.cap*(1-1e-9)
 		}
@@ -279,9 +529,9 @@ func (fn *FluidNet) settle() {
 		}
 	}
 
-	// Push the aggregate loads into the packet tier and retarget any
-	// promoted flows' expanders.
-	for _, d := range fn.dirs {
+	// Push the component's aggregate loads into the packet tier and
+	// retarget any promoted flows' expanders.
+	for _, d := range dirs {
 		d.link.SetFluidLoad(d.end, d.load)
 	}
 	for _, f := range act {
@@ -289,7 +539,34 @@ func (fn *FluidNet) settle() {
 			f.exp.SetRate(f.rate)
 		}
 	}
-	fn.settles++
+
+	// Collect congestion-promotion candidates: active unpromoted flows
+	// crossing a direction at or above the utilisation threshold, each
+	// at most once per settle (the congestion stamp), tagged with the
+	// triggering direction's utilisation.
+	if fn.onCong != nil && fn.congRho > 0 {
+		for _, d := range dirs {
+			if d.cap <= 0 {
+				continue
+			}
+			rho := d.load / d.cap
+			if rho < fn.congRho {
+				continue
+			}
+			for _, e := range d.flows {
+				f := e.f
+				if f.congMark == fn.gen || !f.active || f.exp != nil {
+					continue
+				}
+				f.congMark = fn.gen
+				fn.congested = append(fn.congested, congEvent{f: f, rho: rho})
+			}
+		}
+	}
+
+	// Hand the (possibly grown) scratch back for the next component.
+	fn.compFlows = flows[:0]
+	fn.compDirs = dirs[:0]
 }
 
 // FluidFlow is a rate process managed by a FluidNet. It satisfies Flow.
@@ -299,11 +576,19 @@ type FluidFlow struct {
 	demand float64
 	dirs   []*fluidDir
 
+	// posInDir[i] is this flow's slot in dirs[i].flows — the
+	// back-pointer swap-removal needs.
+	posInDir []int
+	listPos  int // slot in the allocator's flow list
+
 	rate   float64 // current allocation, bits/s
 	frozen bool    // settle scratch
 
-	active bool
-	listed bool // in the allocator's flow list (drained at settle)
+	active   bool
+	listed   bool // in the allocator's flow + per-direction lists
+	dirtyMk  bool // queued in dirtyFlows for the next settle
+	mark     int  // settle generation last visited (component BFS)
+	congMark int  // settle generation OnCongested last fired
 
 	// Delivered-bit accounting: lazy accrual at the current rate while
 	// fluid, expander byte deltas while promoted.
@@ -328,6 +613,9 @@ func (f *FluidFlow) Demand() float64 { return f.demand }
 // first settle after Start).
 func (f *FluidFlow) Rate() float64 { return f.rate }
 
+// Active reports whether the flow is between Start and Stop.
+func (f *FluidFlow) Active() bool { return f.active }
+
 // Start activates the flow. Its load joins the allocation at the next
 // epoch boundary. Idempotent.
 func (f *FluidFlow) Start() {
@@ -337,9 +625,9 @@ func (f *FluidFlow) Start() {
 	f.active = true
 	f.lastAccrual = f.net.sched.Now()
 	if !f.listed {
-		f.listed = true
-		f.net.flows = append(f.net.flows, f)
+		f.net.list(f)
 	}
+	f.net.dirtyFlow(f)
 	f.net.markDirty()
 }
 
@@ -356,7 +644,25 @@ func (f *FluidFlow) Stop() {
 	}
 	f.active = false
 	f.rate = 0
+	f.net.dirtyFlow(f)
 	f.net.markDirty()
+}
+
+// SetDemand retargets the flow's offered load (bits/s, clamped to
+// finite non-negative). An active flow's links re-settle at the next
+// epoch boundary.
+func (f *FluidFlow) SetDemand(bps float64) {
+	if math.IsNaN(bps) || math.IsInf(bps, 0) || bps < 0 {
+		bps = 0
+	}
+	if bps == f.demand {
+		return
+	}
+	f.demand = bps
+	if f.active {
+		f.net.dirtyFlow(f)
+		f.net.markDirty()
+	}
 }
 
 // Promote expands the flow across a packet-exact region: from now on

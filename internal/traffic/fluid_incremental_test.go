@@ -1,0 +1,277 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fluidOp is one scripted allocator mutation, applied shortly after an
+// epoch boundary so it lands in the following settle.
+type fluidOp struct {
+	epoch int // boundary index the op follows
+	kind  int // 0 toggle start/stop, 1 retarget demand, 2 capacity change
+	tgt   int // flow index (kinds 0, 1) or link index (kind 2)
+	val   float64
+}
+
+// genFluidScript produces a deterministic randomized mutation schedule
+// over nf flows and nl links: every epoch toggles, retargets, and
+// resizes a few of them.
+func genFluidScript(seed int64, epochs, opsPerEpoch, nf, nl int) []fluidOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []fluidOp
+	for e := 0; e < epochs; e++ {
+		for o := 0; o < opsPerEpoch; o++ {
+			op := fluidOp{epoch: e, kind: rng.Intn(3)}
+			switch op.kind {
+			case 0:
+				op.tgt = rng.Intn(nf)
+			case 1:
+				op.tgt = rng.Intn(nf)
+				op.val = float64(rng.Intn(24)) * 0.5e6 // 0..11.5e6
+			case 2:
+				op.tgt = rng.Intn(nl)
+				op.val = 1e6 + float64(rng.Intn(23))*0.5e6
+			}
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// runFluidScript replays the script against a fresh chain topology and
+// returns the exact bit patterns of every flow rate and directed link
+// load observed just before each epoch boundary. The chain's links are
+// shared by overlapping sub-paths, so the script continually splits and
+// merges allocator components.
+func runFluidScript(t *testing.T, ops []fluidOp, caps []float64, nf int, full bool) []uint64 {
+	t.Helper()
+	sched, links := fluidRig(t, caps)
+	epoch := 10 * time.Millisecond
+	fn := NewFluidNet(sched, FluidConfig{Epoch: epoch, FullResettle: full})
+
+	// Flow i runs the sub-chain [i%len, i%len+1+i%3] clipped to the
+	// chain — short overlapping paths, many sharing each link.
+	flows := make([]*FluidFlow, nf)
+	for i := range flows {
+		lo := i % len(links)
+		hi := lo + 1 + i%3
+		if hi > len(links) {
+			hi = len(links)
+		}
+		var hops []Hop
+		for j := lo; j < hi; j++ {
+			hops = append(hops, Hop{Link: links[j], End: 0})
+		}
+		flows[i] = fn.NewFlow(float64(1+i%7)*1e6, hops)
+		if i%2 == 0 {
+			flows[i].Start()
+		}
+	}
+
+	epochs := 0
+	for _, op := range ops {
+		op := op
+		if op.epoch+1 > epochs {
+			epochs = op.epoch + 1
+		}
+		at := time.Duration(op.epoch)*epoch + time.Millisecond
+		sched.After(at, func() {
+			switch op.kind {
+			case 0:
+				f := flows[op.tgt]
+				if f.Active() {
+					f.Stop()
+				} else {
+					f.Start()
+				}
+			case 1:
+				flows[op.tgt].SetDemand(op.val)
+			case 2:
+				fn.SetCapacity(links[op.tgt], 0, op.val)
+			}
+		})
+	}
+
+	var sig []uint64
+	for e := 1; e <= epochs+1; e++ {
+		sched.After(time.Duration(e)*epoch-time.Microsecond, func() {
+			for _, f := range flows {
+				sig = append(sig, math.Float64bits(f.Rate()))
+			}
+			for _, l := range links {
+				sig = append(sig, math.Float64bits(l.FluidLoad(0)))
+			}
+		})
+	}
+	sched.RunFor(time.Duration(epochs+2) * epoch)
+	return sig
+}
+
+// TestFluidIncrementalMatchesFullResettle pins the dirty-set allocator
+// bit for bit to the full progressive-filling oracle across randomized
+// start/stop/retarget/capacity-change sequences. Any divergence — a
+// frozen flow that should have been re-solved, a component the dirty
+// seeds failed to reach — shows up as a differing rate or load bit
+// pattern at some epoch boundary.
+func TestFluidIncrementalMatchesFullResettle(t *testing.T) {
+	caps := []float64{7e6, 11e6, 5e6, 9e6, 13e6, 6e6}
+	const nf = 24
+	for seed := int64(1); seed <= 4; seed++ {
+		ops := genFluidScript(seed, 20, 4, nf, len(caps))
+		fullSig := runFluidScript(t, ops, caps, nf, true)
+		incSig := runFluidScript(t, ops, caps, nf, false)
+		if len(fullSig) != len(incSig) {
+			t.Fatalf("seed %d: signature lengths differ: %d vs %d", seed, len(fullSig), len(incSig))
+		}
+		for i := range fullSig {
+			if fullSig[i] != incSig[i] {
+				t.Fatalf("seed %d: sample %d diverged: full %x vs incremental %x",
+					seed, i, fullSig[i], incSig[i])
+			}
+		}
+	}
+}
+
+// TestFluidUntouchedComponentKeepsRates checks the point of the dirty
+// set: re-settling one component must not re-solve — or even visit —
+// flows in a disjoint component. Their rates keep the exact bit
+// patterns of the previous settle.
+func TestFluidUntouchedComponentKeepsRates(t *testing.T) {
+	sched, links := fluidRig(t, []float64{7e6, 9e6})
+	fn := NewFluidNet(sched, FluidConfig{Epoch: 10 * time.Millisecond})
+	// Two disjoint components: a/b on link 0, c on link 1.
+	a := fn.NewFlow(5e6, []Hop{{Link: links[0], End: 0}})
+	b := fn.NewFlow(5e6, []Hop{{Link: links[0], End: 0}})
+	c := fn.NewFlow(20e6, []Hop{{Link: links[1], End: 0}})
+	a.Start()
+	b.Start()
+	c.Start()
+	sched.RunFor(10 * time.Millisecond)
+	aBits, bBits := math.Float64bits(a.Rate()), math.Float64bits(b.Rate())
+	if a.Rate() != 3.5e6 || c.Rate() != 9e6 {
+		t.Fatalf("initial rates: a=%v c=%v", a.Rate(), c.Rate())
+	}
+
+	// Touch only c's component.
+	c.SetDemand(4e6)
+	sched.RunFor(10 * time.Millisecond)
+	if c.Rate() != 4e6 {
+		t.Fatalf("c not re-solved: %v", c.Rate())
+	}
+	if math.Float64bits(a.Rate()) != aBits || math.Float64bits(b.Rate()) != bBits {
+		t.Fatalf("disjoint component disturbed: a=%v b=%v", a.Rate(), b.Rate())
+	}
+}
+
+// TestFluidSettleSteadyStateAllocs guards the steady-state settle path
+// against per-epoch allocation creep: once the component scratch has
+// grown to the working set, a retarget + settle cycle must stay within
+// a handful of allocations (the scheduler's timer event and closure —
+// nothing proportional to flows or links).
+func TestFluidSettleSteadyStateAllocs(t *testing.T) {
+	sched, links := fluidRig(t, []float64{9e6, 7e6, 11e6})
+	fn := NewFluidNet(sched, FluidConfig{Epoch: 10 * time.Millisecond})
+	flows := make([]*FluidFlow, 64)
+	for i := range flows {
+		flows[i] = fn.NewFlow(float64(1+i%5)*1e6, []Hop{
+			{Link: links[i%3], End: 0}, {Link: links[(i+1)%3], End: 0},
+		})
+		flows[i].Start()
+	}
+	sched.RunFor(10 * time.Millisecond) // warm the scratch
+	demand := 2e6
+	avg := testing.AllocsPerRun(20, func() {
+		demand += 0.5e6
+		flows[17].SetDemand(demand)
+		sched.RunFor(10 * time.Millisecond)
+	})
+	if avg > 8 {
+		t.Fatalf("steady-state settle allocates %.1f allocs/epoch, want <= 8", avg)
+	}
+}
+
+// TestFluidCongestionCallback exercises the promotion hook: flows on a
+// direction at or above CongestionRho are reported once per settle,
+// already-promoted flows are skipped, and a quiet settle reports
+// nothing.
+func TestFluidCongestionCallback(t *testing.T) {
+	sched, links := fluidRig(t, []float64{10e6, 10e6})
+	var fired []struct {
+		f   *FluidFlow
+		rho float64
+	}
+	var fn *FluidNet
+	fn = NewFluidNet(sched, FluidConfig{
+		Epoch:         10 * time.Millisecond,
+		CongestionRho: 0.9,
+		OnCongested: func(f *FluidFlow, rho float64) {
+			fired = append(fired, struct {
+				f   *FluidFlow
+				rho float64
+			}{f, rho})
+		},
+	})
+	hot := []Hop{{Link: links[0], End: 0}}
+	cold := []Hop{{Link: links[1], End: 0}}
+	a := fn.NewFlow(6e6, hot)
+	b := fn.NewFlow(6e6, hot)
+	c := fn.NewFlow(2e6, cold) // ρ = 0.2, never congested
+	a.Start()
+	b.Start()
+	c.Start()
+	sched.RunFor(10 * time.Millisecond)
+	if len(fired) != 2 || fired[0].f != a || fired[1].f != b {
+		t.Fatalf("first settle fired %d callbacks, want a then b", len(fired))
+	}
+	for _, ev := range fired {
+		if ev.rho != 1.0 {
+			t.Fatalf("rho = %v, want 1.0", ev.rho)
+		}
+	}
+
+	// Promote a; the next congested settle reports only b.
+	a.Promote(&fakeExpander{})
+	fired = fired[:0]
+	b.SetDemand(7e6)
+	sched.RunFor(10 * time.Millisecond)
+	if len(fired) != 1 || fired[0].f != b {
+		t.Fatalf("post-promotion settle fired %d callbacks", len(fired))
+	}
+
+	// A settle of the cold component only reports nothing.
+	fired = fired[:0]
+	c.SetDemand(3e6)
+	sched.RunFor(10 * time.Millisecond)
+	if len(fired) != 0 {
+		t.Fatalf("cold settle fired %d callbacks", len(fired))
+	}
+	_ = fn
+}
+
+// TestFluidSetCapacityReallocates covers the chaos-hook entry point:
+// shrinking a traversed direction re-solves its component at the next
+// boundary, and untraversed directions are ignored.
+func TestFluidSetCapacityReallocates(t *testing.T) {
+	sched, links := fluidRig(t, []float64{10e6, 10e6})
+	fn := NewFluidNet(sched, FluidConfig{Epoch: 10 * time.Millisecond})
+	a := fn.NewFlow(8e6, []Hop{{Link: links[0], End: 0}})
+	b := fn.NewFlow(8e6, []Hop{{Link: links[0], End: 0}})
+	a.Start()
+	b.Start()
+	sched.RunFor(10 * time.Millisecond)
+	if a.Rate() != 5e6 || b.Rate() != 5e6 {
+		t.Fatalf("initial split: %v %v", a.Rate(), b.Rate())
+	}
+	fn.SetCapacity(links[0], 0, 6e6)
+	fn.SetCapacity(links[1], 0, 1e6) // untraversed: no-op, must not panic or settle
+	sched.RunFor(10 * time.Millisecond)
+	if a.Rate() != 3e6 || b.Rate() != 3e6 {
+		t.Fatalf("post-shrink split: %v %v", a.Rate(), b.Rate())
+	}
+	if got := links[0].FluidLoad(0); got != 6e6 {
+		t.Fatalf("load = %v, want 6e6", got)
+	}
+}

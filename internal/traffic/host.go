@@ -67,19 +67,19 @@ func NewHost(sched *sim.Scheduler, name string, mac packet.MAC, ip packet.IPAddr
 	// NIC-ring semantics: overload drops whole bursts, so the k combiner
 	// copies of one packet are lost (or kept) together.
 	proc.SetHysteresis(true)
+	// Handler maps and ARP state are allocated on first use: a scaled
+	// fluid-tier fabric builds hundreds of thousands of hosts whose
+	// traffic never reaches the packet stack, and four maps per host
+	// would dominate the build's allocation volume.
 	h := &Host{
-		name:         name,
-		sched:        sched,
-		proc:         proc,
-		mac:          mac,
-		ip:           ip,
-		udpHandlers:  make(map[uint16]func(*packet.Packet)),
-		tcpHandlers:  make(map[uint16]func(*packet.Packet)),
-		icmpHandlers: make(map[uint16]func(*packet.Packet)),
-		arp:          newARPState(),
+		name:  name,
+		sched: sched,
+		proc:  proc,
+		mac:   mac,
+		ip:    ip,
 	}
 	if cfg.EchoResponder {
-		h.icmpHandlers[0] = h.answerEcho // 0: catch-all echo-request slot
+		h.HandleEchoRequest(h.answerEcho)
 	}
 	return h
 }
@@ -118,16 +118,30 @@ func (h *Host) Send(pkt *packet.Packet) bool {
 
 // HandleUDP registers a handler for datagrams addressed to the port.
 func (h *Host) HandleUDP(port uint16, fn func(*packet.Packet)) {
+	if h.udpHandlers == nil {
+		h.udpHandlers = make(map[uint16]func(*packet.Packet))
+	}
 	h.udpHandlers[port] = fn
 }
 
 // HandleTCP registers a handler for segments addressed to the port.
 func (h *Host) HandleTCP(port uint16, fn func(*packet.Packet)) {
+	if h.tcpHandlers == nil {
+		h.tcpHandlers = make(map[uint16]func(*packet.Packet))
+	}
 	h.tcpHandlers[port] = fn
+}
+
+// HandleEchoRequest registers the echo-request service handler (slot 0).
+func (h *Host) HandleEchoRequest(fn func(*packet.Packet)) {
+	h.HandleEchoReply(0, fn)
 }
 
 // HandleEchoReply registers a handler for echo replies with the ICMP id.
 func (h *Host) HandleEchoReply(id uint16, fn func(*packet.Packet)) {
+	if h.icmpHandlers == nil {
+		h.icmpHandlers = make(map[uint16]func(*packet.Packet))
+	}
 	h.icmpHandlers[id] = fn
 }
 
