@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid sweep-smoke hybrid-smoke hybrid-scale-smoke fuzz fuzz-smoke chaos-smoke
+.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid sweep-smoke hybrid-smoke hybrid-scale-smoke fuzz fuzz-smoke chaos-smoke impairment-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
 # the race detector (with scratch poisoning on, so retained engine events
@@ -8,8 +8,9 @@ GO ?= go
 # they exist to run the b.ReportAllocs paths and the AllocsPerRun guards
 # embedded in the test run, not to produce stable timings), an
 # end-to-end parallel sweep smoke run, the hybrid-engine digest-stability
-# smoke, the scenario-fuzzer smoke, and the chaos-lifecycle smoke.
-check: vet build race bench-guard sweep-smoke hybrid-smoke hybrid-scale-smoke fuzz-smoke chaos-smoke
+# smoke, the scenario-fuzzer smoke, the chaos-lifecycle smoke, and the
+# impairment-pipeline smoke.
+check: vet build race bench-guard sweep-smoke hybrid-smoke hybrid-scale-smoke fuzz-smoke chaos-smoke impairment-smoke
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +88,26 @@ chaos-smoke:
 	$(GO) run ./cmd/netco-fuzz -n 100 -seed 7 -chaos -budget 20s
 	$(GO) test ./internal/harness/ -run TestHarnessReplay \
 		-harness.replay=testdata/chaos-recovery.json
+
+# impairment-smoke gates the impairment pipeline: the statistical
+# validation suite (per-stage loss/dup/corrupt/reorder rates against
+# analytic bounds at fixed seeds), an impaired fuzz pass (no-forgery and
+# determinism oracles under trunk noise plus the checked-in duplication
+# golden artifact), and a CLI leg — an impaired chaos grid whose JSON
+# artifact must be byte-identical between a 1-worker and a 2-worker run.
+impairment-smoke:
+	$(GO) test ./internal/netem/ -run 'TestImpair' -count 1
+	$(GO) run ./cmd/netco-fuzz -n 60 -seed 11 -impair -budget 20s
+	$(GO) test ./internal/harness/ -run TestHarnessReplay \
+		-harness.replay=testdata/impairment-dup.json
+	$(GO) run ./cmd/netco-sweep -quick -kinds impair,chaos -scenarios Central3 \
+		-seeds 1:2 -loss 1 -loss-ge 1:25 -dup-pct 0.5 -corrupt-pct 0.2 -reorder-ms 1 \
+		-chaos-flap-ms 30 -workers 2 -json /tmp/netco-impair-smoke-w2.json
+	$(GO) run ./cmd/netco-sweep -quick -kinds impair,chaos -scenarios Central3 \
+		-seeds 1:2 -loss 1 -loss-ge 1:25 -dup-pct 0.5 -corrupt-pct 0.2 -reorder-ms 1 \
+		-chaos-flap-ms 30 -workers 1 -json /tmp/netco-impair-smoke-w1.json > /dev/null
+	cmp /tmp/netco-impair-smoke-w1.json /tmp/netco-impair-smoke-w2.json
+	@echo "impairment-smoke: statistics in bounds, oracles clean under noise, artifacts byte-identical"
 
 # fuzz is the long-running driver: native coverage-guided fuzzing over
 # the scenario generator. Interrupt with ^C; crashers land in

@@ -55,6 +55,14 @@ func run() error {
 		dos    = flag.Bool("dos", false, "extension: DoS attacks vs the §IV defences")
 		scale  = flag.Bool("scale", false, "extension: parallel-engine scaling benchmark (fat-tree cross-pod UDP, partition sweep; BENCH_5.json)")
 		hybrid = flag.Bool("hybrid", false, "extension: hybrid fluid/packet traffic engine (1k-switch fluid fat tree, 100k+ flows, packet-exact combiner region; BENCH_6.json)")
+		impair = flag.Bool("impair", false, "extension: UDP delivery with the netem impairment pipeline (Gilbert-Elliott loss, duplication, corruption, reordering) on every trunk")
+
+		impLoss    = flag.Float64("impair-loss", 1, "impair section: i.i.d. trunk loss percent")
+		impGEp     = flag.Float64("impair-ge-p", 1, "impair section: Gilbert-Elliott good→bad probability, percent")
+		impGEr     = flag.Float64("impair-ge-r", 25, "impair section: Gilbert-Elliott bad→good probability, percent")
+		impDup     = flag.Float64("impair-dup", 0.5, "impair section: trunk duplication percent")
+		impCorrupt = flag.Float64("impair-corrupt", 0.2, "impair section: trunk bit-corruption percent")
+		impReoMS   = flag.Float64("impair-reorder-ms", 1, "impair section: reorder jitter in ms (25% of packets)")
 
 		hybArity     = flag.Int("hybrid-arity", 0, "override the hybrid fat-tree arity (0 = scenario default; 90 with -hybrid-flows-per-host 6 is the BENCH_8 10k-switch/1M-flow point)")
 		hybFlows     = flag.Int("hybrid-flows-per-host", 0, "override the hybrid flows-per-host fan-out (0 = scenario default)")
@@ -91,7 +99,7 @@ func run() error {
 	// section.scenario.quantity, for the -json report.
 	metrics := map[string]float64{}
 
-	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *arch || *ksweep || *dos || *scale || *hybrid) {
+	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *arch || *ksweep || *dos || *scale || *hybrid || *impair) {
 		*all = true
 	}
 
@@ -364,6 +372,43 @@ func run() error {
 				fmt.Sprintf("%.3f", secs)},
 		}
 		if err := writeCSV(*csvDir, "hybrid.csv", rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *impair {
+		ip := p
+		ip.Impair = netco.ImpairParams{
+			LossPct:       *impLoss,
+			GE:            netco.GilbertElliott(*impGEp/100, *impGEr/100),
+			DupPct:        *impDup,
+			CorruptPct:    *impCorrupt,
+			ReorderPct:    25,
+			ReorderJitter: time.Duration(*impReoMS * float64(time.Millisecond)),
+		}
+		fmt.Printf("== Extension: trunk impairments (loss %.2g%%, GE %.2g:%.2g%%, dup %.2g%%, corrupt %.2g%%, reorder %.2gms) ==\n",
+			*impLoss, *impGEp, *impGEr, *impDup, *impCorrupt, *impReoMS)
+		results := parallelMap(workers, netco.TableScenarios, func(s netco.Scenario) netco.ImpairResult {
+			return netco.RunImpair(ip, s)
+		})
+		rows := [][]string{{"scenario", "delivered_frac", "goodput_mbps", "impair_drops", "corrupted", "duplicated", "reordered"}}
+		for _, r := range results {
+			fmt.Printf("  %-10s delivered %6.3f  goodput %6.1f Mbit/s  (wire: %d lost, %d corrupted, %d duplicated, %d reordered)\n",
+				r.Scenario, r.DeliveredFrac, r.GoodputMbps,
+				r.Counters.ImpairDrops, r.Counters.Corrupted, r.Counters.Duplicated, r.Counters.Reordered)
+			key := "impair." + r.Scenario.String()
+			metrics[key+".delivered_frac"] = r.DeliveredFrac
+			metrics[key+".goodput_mbps"] = r.GoodputMbps
+			metrics[key+".impair_drops"] = float64(r.Counters.ImpairDrops)
+			metrics[key+".corrupted"] = float64(r.Counters.Corrupted)
+			metrics[key+".duplicated"] = float64(r.Counters.Duplicated)
+			metrics[key+".reordered"] = float64(r.Counters.Reordered)
+			rows = append(rows, []string{r.Scenario.String(), fmt.Sprintf("%.4f", r.DeliveredFrac),
+				f1(r.GoodputMbps), strconv.FormatUint(r.Counters.ImpairDrops, 10),
+				strconv.FormatUint(r.Counters.Corrupted, 10), strconv.FormatUint(r.Counters.Duplicated, 10),
+				strconv.FormatUint(r.Counters.Reordered, 10)})
+		}
+		if err := writeCSV(*csvDir, "impair.csv", rows); err != nil {
 			return err
 		}
 		fmt.Println()

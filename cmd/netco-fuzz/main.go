@@ -12,7 +12,8 @@
 // Usage:
 //
 //	netco-fuzz [-n 200] [-budget 0s] [-seed 1] [-workers 0]
-//	           [-weaken] [-expect-catch] [-chaos] [-artifacts dir] [-json f]
+//	           [-weaken] [-expect-catch] [-chaos] [-impair]
+//	           [-artifacts dir] [-json f]
 //
 // -n bounds the scenario count; -budget (when > 0) additionally bounds
 // wall-clock time, stopping after the batch in flight. -weaken switches
@@ -21,7 +22,10 @@
 // run fails unless the no-forgery oracle fires — the self-test that
 // proves the oracles have teeth. -chaos adds a timed fault plan (router
 // crashes, compare restarts, link flaps) to every scenario, arming the
-// recovery oracle alongside no-forgery and determinism.
+// recovery oracle alongside no-forgery and determinism. -impair attaches
+// a trunk impairment pipeline (loss, Gilbert-Elliott bursts,
+// duplication, corruption, reordering) to every scenario; under noise
+// the enforced claims are no-forgery and determinism.
 package main
 
 import (
@@ -59,6 +63,7 @@ type summary struct {
 	Seed       int64    `json:"seed"`
 	Weaken     bool     `json:"weaken,omitempty"`
 	Chaos      bool     `json:"chaos,omitempty"`
+	Impair     bool     `json:"impair,omitempty"`
 }
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
@@ -71,6 +76,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		weaken      = fs.Bool("weaken", false, "sabotage mode: weakened compare majority in every scenario")
 		expectCatch = fs.Bool("expect-catch", false, "fail unless the no-forgery oracle fires (use with -weaken)")
 		chaosMode   = fs.Bool("chaos", false, "add a timed fault plan (crashes, restarts, flaps) to every scenario")
+		impairMode  = fs.Bool("impair", false, "attach a trunk impairment pipeline (loss, bursts, dup, corruption, reorder) to every scenario")
 		artifacts   = fs.String("artifacts", "", "directory for minimized counterexample artifacts")
 		jsonPath    = fs.String("json", "", "write the run summary as JSON to this file")
 	)
@@ -81,10 +87,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("-n must be positive")
 	}
 
-	opts := harness.Options{Weaken: *weaken, Chaos: *chaosMode}
+	opts := harness.Options{Weaken: *weaken, Chaos: *chaosMode, Impair: *impairMode}
 	rng := sim.NewRNG(*seed)
 	start := time.Now()
-	sum := summary{Seed: *seed, Weaken: *weaken, Chaos: *chaosMode}
+	sum := summary{Seed: *seed, Weaken: *weaken, Chaos: *chaosMode, Impair: *impairMode}
 	oracleSeen := make(map[string]bool)
 
 	// Generate-and-check in batches so a -budget can stop between them

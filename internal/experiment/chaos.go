@@ -29,6 +29,10 @@ type ChaosResult struct {
 	LastHeal  time.Duration
 	Recovery  time.Duration
 	Recovered bool
+	// Impair aggregates the impairment-pipeline counters across the
+	// fabric (all zero unless Params.Impair is configured), so chaos ×
+	// impairment grids can split outage loss from modelled wire loss.
+	Impair ImpairCounters
 }
 
 // chaosSettle matches the other experiment units' warm-up period.
@@ -95,6 +99,7 @@ func RunChaos(p Params, s Scenario) ChaosResult {
 			res.Recovery = pst.First - res.LastHeal
 		}
 	}
+	res.Impair = collectTestbedImpair(tb)
 	return res
 }
 

@@ -99,6 +99,12 @@ type Params struct {
 	ChaosFlapCycles     int
 	ChaosCompareRestart bool
 
+	// Impair attaches the netem impairment pipeline (loss models,
+	// corruption, duplication, reordering; see ImpairParams) to every
+	// trunk link, seeded from the run seed. The zero value keeps trunks
+	// clean and digests bit-identical to the pre-impairment engine.
+	Impair ImpairParams
+
 	// Partitions > 1 runs each testbed on the parallel engine with that
 	// many domains (bit-identical to serial; see internal/sim/par).
 	// Workers bounds the engine's goroutines (0 = GOMAXPROCS).
@@ -174,9 +180,16 @@ func (p Params) HostLink() netem.LinkConfig {
 	return netem.LinkConfig{Bandwidth: p.HostLinkRate, Delay: p.PropDelay, QueueLimit: p.QueueLimit}
 }
 
-// TrunkLink is the calibrated edge↔router link recipe.
+// TrunkLink is the calibrated edge↔router link recipe. The impairment
+// pipeline rides the trunks only: hosts, edges and the compare keep
+// their trusted clean links, matching the threat model (the unreliable
+// part of the fabric is the routers and the wires between them).
 func (p Params) TrunkLink() netem.LinkConfig {
-	return netem.LinkConfig{Bandwidth: p.TrunkRate, Delay: p.PropDelay, QueueLimit: p.QueueLimit}
+	cfg := netem.LinkConfig{Bandwidth: p.TrunkRate, Delay: p.PropDelay, QueueLimit: p.QueueLimit}
+	if p.Impair.Enabled() {
+		cfg.Impairments = p.Impair.Spec(p.Seed)
+	}
+	return cfg
 }
 
 // TestbedParams expands the calibration into a topo build recipe for the

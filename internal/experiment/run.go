@@ -37,10 +37,14 @@ const (
 	// trunk link flaps and (optionally) the compare bounces, plus the
 	// recovery latency after the last heal (see RunChaos).
 	KindChaos
+	// KindImpair measures UDP delivery with the Params.Impair pipeline
+	// (loss models, corruption, duplication, reordering) on every trunk
+	// — the goodput-surface unit for impairment grids (see RunImpair).
+	KindImpair
 )
 
 // AllKinds lists every schedulable kind.
-var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter, KindHybrid, KindChaos}
+var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter, KindHybrid, KindChaos, KindImpair}
 
 // String names the kind for CLIs and artifacts.
 func (k Kind) String() string {
@@ -57,6 +61,8 @@ func (k Kind) String() string {
 		return "hybrid"
 	case KindChaos:
 		return "chaos"
+	case KindImpair:
+		return "impair"
 	}
 	return "unknown"
 }
@@ -68,7 +74,7 @@ func ParseKind(name string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping, jitter, hybrid or chaos)", name)
+	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping, jitter, hybrid, chaos or impair)", name)
 }
 
 // ParseScenario resolves a paper scenario name (case-insensitive).
@@ -209,6 +215,31 @@ func Run(k Kind, p Params, s Scenario, seed int64) Result {
 		var frac metrics.Summary
 		frac.Add(cr.DeliveredFrac)
 		res.addSummary("delivered_frac", frac)
+		if p.Impair.Enabled() {
+			// Chaos under impairment: surface the pipeline's accounting so
+			// the grid can separate modelled wire loss from outage loss.
+			res.setMetric("impair_drops", float64(cr.Impair.ImpairDrops))
+			res.setMetric("impair_corrupted", float64(cr.Impair.Corrupted))
+			res.setMetric("impair_duplicated", float64(cr.Impair.Duplicated))
+			res.setMetric("impair_reordered", float64(cr.Impair.Reordered))
+		}
+	case KindImpair:
+		ir := RunImpair(p, s)
+		res.setMetric("impair_sent", float64(ir.Sent))
+		res.setMetric("impair_delivered", float64(ir.Delivered))
+		res.setMetric("impair_dups", float64(ir.Dups))
+		res.setMetric("delivered_frac", ir.DeliveredFrac)
+		res.setMetric("goodput_mbps", ir.GoodputMbps)
+		res.setMetric("impair_drops", float64(ir.Counters.ImpairDrops))
+		res.setMetric("impair_corrupted", float64(ir.Counters.Corrupted))
+		res.setMetric("impair_duplicated", float64(ir.Counters.Duplicated))
+		res.setMetric("impair_reordered", float64(ir.Counters.Reordered))
+		var frac metrics.Summary
+		frac.Add(ir.DeliveredFrac)
+		res.addSummary("delivered_frac", frac)
+		var good metrics.Summary
+		good.Add(ir.GoodputMbps)
+		res.addSummary("goodput_mbps", good)
 	default:
 		panic(fmt.Sprintf("experiment: unknown Kind %d", k))
 	}

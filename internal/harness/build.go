@@ -230,8 +230,18 @@ func (f *fabric) hostLink() netem.LinkConfig {
 	return netem.LinkConfig{Bandwidth: hostLinkRate, Delay: propDelay, QueueLimit: linkQueue}
 }
 
+// trunkLink is every link the scenario's trunk rate shapes: the
+// combiner's edge↔router links and (for the fat tree) the fabric and
+// splice links. Impairments attach here and only here — host and compare
+// links stay clean, matching the threat model's trusted attachment
+// points. The reorder stage only ever *adds* propagation delay, so the
+// partitioned engine's lookahead (min cross-link delay) stays sound.
 func (f *fabric) trunkLink(sc Scenario) netem.LinkConfig {
-	return netem.LinkConfig{Bandwidth: sc.TrunkMbps * 1e6, Delay: propDelay, QueueLimit: linkQueue}
+	cfg := netem.LinkConfig{Bandwidth: sc.TrunkMbps * 1e6, Delay: propDelay, QueueLimit: linkQueue}
+	if sc.Impaired() {
+		cfg.Impairments = sc.Impair.spec(sc.Seed)
+	}
+	return cfg
 }
 
 // buildCombiner assembles combiner ci of the scenario, attaching the

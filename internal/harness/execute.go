@@ -135,7 +135,15 @@ type emitKey struct {
 // collected per combiner and merged deterministically after the run
 // (identically in serial mode, so observations stay byte-identical).
 type combTap struct {
-	emitted    map[emitKey]uint16 // bitmask of router indices
+	emitted map[emitKey]uint16 // bitmask of router indices
+	// released is every released frame in release order. The no-forgery
+	// verdict is deferred to end-of-run, when the emission ledger is
+	// complete: under a weakened release threshold plus trunk reordering,
+	// the compare can legitimately release the first copy before the
+	// *other* routers have transmitted theirs, so a release-time mask
+	// read would misfire on honest frames. A genuinely forged frame is
+	// never majority-emitted at any point, so deferral loses nothing.
+	released   []emitKey
 	dirs       [2]*dirTap
 	tracer     *trace.Tracer
 	alarms     []AlarmObs
@@ -160,8 +168,8 @@ func ExecuteP(sc Scenario, partitions int) (RunResult, error) {
 	defer f.close()
 
 	// Taps. Router OnTransmit feeds the no-forgery ledger; the compare's
-	// OnRelease hook feeds both the ledger check and the per-direction
-	// release digests.
+	// OnRelease hook records every release for the end-of-run ledger
+	// check and feeds the per-direction release digests.
 	var res RunResult
 	taps := make([]*combTap, len(f.combs))
 	majority := sc.K/2 + 1
@@ -192,14 +200,7 @@ func ExecuteP(sc Scenario, partitions int) (RunResult, error) {
 			d.seq.Write(wire)
 			d.multiset = append(d.multiset, normalizedDigest(wire))
 			if forgeryChecked {
-				mask := tap.emitted[emitKey{edge: edgeID, digest: packet.DigestBytes(wire)}]
-				if bits.OnesCount16(mask) < majority {
-					tap.violations = append(tap.violations, Violation{
-						Oracle: OracleNoForgery,
-						Detail: fmt.Sprintf("combiner %d edge %d released a frame emitted by %d of %d routers (majority %d)",
-							ci, edgeID, bits.OnesCount16(mask), sc.K, majority),
-					})
-				}
+				tap.released = append(tap.released, emitKey{edge: edgeID, digest: packet.DigestBytes(wire)})
 			}
 		}
 		comb.Compare.OnAlarm = func(a core.Alarm) {
@@ -225,6 +226,21 @@ func ExecuteP(sc Scenario, partitions int) (RunResult, error) {
 
 	// Run the fixed timeline to quiescence.
 	f.runner.RunUntil(settleTime + windowTime + drainTime)
+
+	// No-forgery, against the now-complete emission ledger: every
+	// released frame must have been emitted by a strict majority of its
+	// combiner's routers at some point in the run.
+	for ci, tap := range taps {
+		for _, key := range tap.released {
+			if n := bits.OnesCount16(tap.emitted[key]); n < majority {
+				tap.violations = append(tap.violations, Violation{
+					Oracle: OracleNoForgery,
+					Detail: fmt.Sprintf("combiner %d edge %d released a frame emitted by %d of %d routers (majority %d)",
+						ci, key.edge, n, sc.K, majority),
+				})
+			}
+		}
+	}
 
 	// Merge the per-combiner streams canonically: alarms globally by
 	// firing time (stable, so same-instant alarms order by combiner,
@@ -265,8 +281,10 @@ func ExecuteP(sc Scenario, partitions int) (RunResult, error) {
 
 	// Single-run oracles beyond no-forgery: detection (Theorem 2) —
 	// skipped under chaos, where an outage window can legitimately swallow
-	// the interference evidence before the compare sees it.
-	if sc.K == 2 && len(sc.Chaos) == 0 && res.Obs.DetectableActivity > 0 && len(res.Obs.Alarms) == 0 {
+	// the interference evidence before the compare sees it, and under
+	// impairment, where wire loss can do the same to the mismatched copy.
+	if sc.K == 2 && len(sc.Chaos) == 0 && !sc.Impaired() &&
+		res.Obs.DetectableActivity > 0 && len(res.Obs.Alarms) == 0 {
 		res.Violations = append(res.Violations, Violation{
 			Oracle: OracleDetection,
 			Detail: fmt.Sprintf("k=2 adversary interfered with %d packets but no alarm fired", res.Obs.DetectableActivity),
@@ -281,7 +299,11 @@ func ExecuteP(sc Scenario, partitions int) (RunResult, error) {
 			ProbeSent:     uint64(r.Sent),
 			ProbeReceived: uint64(r.Received),
 		}
-		if r.Received == 0 {
+		// An impaired fabric can legitimately eat every probe (a GE burst
+		// straddling the grace period kills all three pings), so the
+		// violation is gated; RecoveryObs is still recorded and the
+		// determinism oracle still covers it.
+		if r.Received == 0 && !sc.Impaired() {
 			res.Violations = append(res.Violations, Violation{
 				Oracle: OracleRecovery,
 				Detail: fmt.Sprintf("no probe echo returned after the last heal at %v — the fabric did not recover", lastHeal),

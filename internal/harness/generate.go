@@ -20,6 +20,12 @@ type Options struct {
 	// crashes, compare restarts, link flaps — alongside whatever
 	// adversaries roll, arming the recovery oracle.
 	Chaos bool
+	// Impair makes every scenario carry a trunk impairment pipeline
+	// (loss, bursts, duplication, corruption, reordering). Without it a
+	// quarter of generated scenarios roll one anyway (except in Weaken
+	// runs, which stay noise-free so the no-forgery self-test's verdict
+	// is attributable to the sabotage alone).
+	Impair bool
 	// Topologies restricts the topology pool (default: all three).
 	Topologies []string
 }
@@ -72,7 +78,37 @@ func Generate(rng *sim.RNG, opts Options) Scenario {
 	if opts.Chaos {
 		sc.Chaos = genChaos(rng, sc)
 	}
+	if opts.Impair || (!opts.Weaken && rng.Float64() < 0.25) {
+		sc.Impair = genImpair(rng)
+	}
 	return sc
+}
+
+// genImpair draws an impairment pipeline: one primary noise stage, with
+// an independent chance of a low-rate corruption rider. Magnitudes stay
+// well inside the Validate bounds — the fuzzer wants noise the armed
+// oracles (no-forgery, determinism) must survive, not a dead wire.
+func genImpair(rng *sim.RNG) *ImpairConfig {
+	c := &ImpairConfig{}
+	switch rng.Intn(4) {
+	case 0:
+		c.LossPct = pickF(rng, 0.5, 2, 5)
+		if rng.Intn(2) == 1 {
+			c.LossCorrPct = pickF(rng, 25, 50)
+		}
+	case 1:
+		c.GEGoodBadPct = pickF(rng, 0.5, 1, 2)
+		c.GEBadGoodPct = pickF(rng, 10, 25, 50)
+	case 2:
+		c.DupPct = pickF(rng, 0.5, 1, 2)
+	default:
+		c.ReorderPct = pickF(rng, 10, 25)
+		c.ReorderUs = pickI(rng, 30, 100, 300)
+	}
+	if rng.Intn(4) == 0 {
+		c.CorruptPct = pickF(rng, 0.1, 0.5, 1)
+	}
+	return c
 }
 
 // genChaos draws one or two timed faults. The magnitude pools keep the

@@ -49,7 +49,14 @@ func (r CheckResult) Oracles() []string {
 // timing shifts *which* packets are in flight when a window opens, so the
 // adversarial egress need not equal the honest twin's. Under churn the
 // enforced claims are no-forgery, recovery (decided inside Execute) and
-// determinism.
+// determinism. Impaired scenarios skip masking for the same reason an
+// outage does: wire loss hits the adversarial run and the honest twin at
+// different packets (adversarial timing shifts what is on the wire when
+// a loss draw fires), so equality of egress multisets is not a claim the
+// combiner makes. No-forgery and determinism stay fully armed under
+// noise — corruption bounded at 5% cannot forge a majority (see
+// ImpairConfig.CorruptPct), and the impairment PRNGs are seeded from the
+// genome alone.
 func Check(sc Scenario) (CheckResult, error) {
 	res := CheckResult{Scenario: sc}
 	r1, err := Execute(sc)
@@ -81,7 +88,7 @@ func Check(sc Scenario) (CheckResult, error) {
 		})
 	}
 
-	if sc.K == 3 && !sc.WeakenMajority && len(sc.Chaos) == 0 {
+	if sc.K == 3 && !sc.WeakenMajority && len(sc.Chaos) == 0 && !sc.Impaired() {
 		honest := sc
 		honest.Adversaries = nil
 		rh, err := Execute(honest)

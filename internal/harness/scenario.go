@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"netco/internal/chaos"
+	"netco/internal/netem"
 )
 
 // Topology names.
@@ -105,6 +106,125 @@ type Scenario struct {
 	// plan arms the recovery oracle and disarms masking and detection
 	// (outage windows legitimately lose traffic and evidence).
 	Chaos []ChaosAction `json:"chaos,omitempty"`
+	// Impair attaches a deterministic impairment pipeline (loss,
+	// Gilbert-Elliott bursts, duplication, corruption, reordering) to
+	// every trunk link. Impaired scenarios keep no-forgery and
+	// determinism armed but disarm masking, detection and the recovery
+	// violation: honest wire noise legitimately loses traffic and
+	// evidence, exactly like an outage window (see Impaired).
+	Impair *ImpairConfig `json:"impair,omitempty"`
+}
+
+// ImpairConfig is the genome form of a trunk impairment pipeline. All
+// probabilities are percentages (netem CLI convention); zero fields
+// leave the corresponding stage out. The per-stage PRNGs seed from
+// (Scenario.Seed, link creation index, direction, stage index), so the
+// noise pattern is a pure function of the genome.
+type ImpairConfig struct {
+	// LossPct is i.i.d. (or, with LossCorrPct, correlated) wire loss.
+	LossPct     float64 `json:"loss_pct,omitempty"`
+	LossCorrPct float64 `json:"loss_corr_pct,omitempty"`
+	// GEGoodBadPct/GEBadGoodPct configure a classic Gilbert-Elliott
+	// burst-loss chain (lossy in the bad state, clean in the good one).
+	GEGoodBadPct float64 `json:"ge_good_bad_pct,omitempty"`
+	GEBadGoodPct float64 `json:"ge_bad_good_pct,omitempty"`
+	// DupPct duplicates frames on the wire. Single duplication keeps
+	// per-port copies of a frame below the compare's DoS threshold of 3,
+	// so trunk dups exercise the dup-suppression path without demanding
+	// an alarm.
+	DupPct float64 `json:"dup_pct,omitempty"`
+	// CorruptPct flips one bit per affected frame. Bounded at 5% so the
+	// chance of two trunk copies of the same frame taking the *same*
+	// flip — the only way line noise could forge a majority — stays
+	// negligible (~1e-9 per frame at the bound) and no-forgery can stay
+	// armed under noise.
+	CorruptPct float64 `json:"corrupt_pct,omitempty"`
+	// ReorderPct delays the affected fraction by up to ReorderUs extra
+	// microseconds, reordering them past later sends.
+	ReorderPct float64 `json:"reorder_pct,omitempty"`
+	ReorderUs  int     `json:"reorder_us,omitempty"`
+}
+
+// Impaired reports whether the scenario carries an active impairment
+// pipeline — the predicate the oracle gates key off.
+func (s Scenario) Impaired() bool {
+	c := s.Impair
+	if c == nil {
+		return false
+	}
+	return c.LossPct > 0 || c.GEGoodBadPct > 0 || c.DupPct > 0 ||
+		c.CorruptPct > 0 || c.ReorderPct > 0
+}
+
+// validate bounds the genome: magnitudes the oracles stay meaningful
+// under. Heavier noise is the sweep CLI's business, not the fuzzer's.
+func (c *ImpairConfig) validate() error {
+	if c.LossPct < 0 || c.LossPct > 20 {
+		return fmt.Errorf("loss_pct %g out of range [0,20]", c.LossPct)
+	}
+	if c.LossCorrPct < 0 || c.LossCorrPct > 90 {
+		return fmt.Errorf("loss_corr_pct %g out of range [0,90]", c.LossCorrPct)
+	}
+	if c.LossCorrPct > 0 && c.LossPct == 0 {
+		return fmt.Errorf("loss_corr_pct %g without loss_pct", c.LossCorrPct)
+	}
+	if (c.GEGoodBadPct > 0) != (c.GEBadGoodPct > 0) {
+		return fmt.Errorf("gilbert-elliott needs both transition rates (got %g/%g)",
+			c.GEGoodBadPct, c.GEBadGoodPct)
+	}
+	if c.GEGoodBadPct < 0 || c.GEGoodBadPct > 20 {
+		return fmt.Errorf("ge_good_bad_pct %g out of range [0,20]", c.GEGoodBadPct)
+	}
+	if c.GEBadGoodPct < 0 || c.GEBadGoodPct > 100 {
+		return fmt.Errorf("ge_bad_good_pct %g out of range [0,100]", c.GEBadGoodPct)
+	}
+	if c.DupPct < 0 || c.DupPct > 10 {
+		return fmt.Errorf("dup_pct %g out of range [0,10]", c.DupPct)
+	}
+	if c.CorruptPct < 0 || c.CorruptPct > 5 {
+		// The no-forgery bound, see the field comment.
+		return fmt.Errorf("corrupt_pct %g out of range [0,5]", c.CorruptPct)
+	}
+	if c.ReorderPct < 0 || c.ReorderPct > 100 {
+		return fmt.Errorf("reorder_pct %g out of range [0,100]", c.ReorderPct)
+	}
+	if c.ReorderPct > 0 && (c.ReorderUs < 1 || c.ReorderUs > 1000) {
+		return fmt.Errorf("reorder_us %d out of range [1,1000]", c.ReorderUs)
+	}
+	if c.ReorderUs != 0 && c.ReorderPct == 0 {
+		return fmt.Errorf("reorder_us %d without reorder_pct", c.ReorderUs)
+	}
+	return nil
+}
+
+// spec renders the genome as the netem pipeline configuration, in the
+// same stage order the experiment layer uses (loss → GE → corrupt →
+// dup → reorder).
+func (c *ImpairConfig) spec(seed int64) *netem.ImpairSpec {
+	sp := &netem.ImpairSpec{Seed: seed}
+	if c.LossPct > 0 {
+		sp.Stages = append(sp.Stages, netem.Loss{P: c.LossPct / 100, Corr: c.LossCorrPct / 100})
+	}
+	if c.GEGoodBadPct > 0 {
+		sp.Stages = append(sp.Stages, netem.LossGE{
+			PGoodBad: c.GEGoodBadPct / 100,
+			PBadGood: c.GEBadGoodPct / 100,
+			LossBad:  1,
+		})
+	}
+	if c.CorruptPct > 0 {
+		sp.Stages = append(sp.Stages, netem.Corrupt{P: c.CorruptPct / 100})
+	}
+	if c.DupPct > 0 {
+		sp.Stages = append(sp.Stages, netem.Duplicate{P: c.DupPct / 100})
+	}
+	if c.ReorderPct > 0 {
+		sp.Stages = append(sp.Stages, netem.Reorder{
+			P:      c.ReorderPct / 100,
+			Jitter: time.Duration(c.ReorderUs) * time.Microsecond,
+		})
+	}
+	return sp
 }
 
 // ChaosAction is one timed lifecycle fault. Times are in milliseconds
@@ -277,6 +397,14 @@ func (s Scenario) Validate() error {
 	for i, a := range s.Chaos {
 		if err := a.validate(s); err != nil {
 			return fmt.Errorf("harness: chaos %d: %w", i, err)
+		}
+	}
+	if s.Impair != nil {
+		if err := s.Impair.validate(); err != nil {
+			return fmt.Errorf("harness: impair: %w", err)
+		}
+		if err := s.Impair.spec(s.Seed).Validate(); err != nil {
+			return fmt.Errorf("harness: impair: %w", err)
 		}
 	}
 	if len(s.Chaos) > 0 {

@@ -96,6 +96,17 @@ func Shrink(sc Scenario, oracles []string, budget int) Scenario {
 			}
 		}
 
+		// 2c. Drop the impairment pipeline: a violation that reproduces on
+		// a clean wire is strictly easier to debug.
+		if sc.Impair != nil {
+			cand := sc
+			cand.Impair = nil
+			if stillFails(cand) {
+				sc = cand
+				changed = true
+			}
+		}
+
 		// 3. Drop flows (keep at least one — Validate requires it).
 		for i := 0; i < len(sc.Flows) && len(sc.Flows) > 1; i++ {
 			cand := sc

@@ -49,9 +49,22 @@ type LinkConfig struct {
 	// historical behaviour (and run digests): down only gates new sends,
 	// and in-flight packets still arrive.
 	DropInFlight bool
+	// Impairments, when non-nil, attaches the seeded impairment pipeline
+	// (loss models, duplication, corruption, reordering — see impair.go)
+	// to both directions of the link. The spec is read-only and may be
+	// shared across links; each direction builds private stage state.
+	Impairments *ImpairSpec
 }
 
 // LinkStats counts traffic for one direction of a link.
+//
+// The drop counters are disjoint: Drops is backpressure and
+// administrative refusal at the sender (tail drop, link down — Send
+// returned false), InFlightDrops is the cut-fibre discard at the
+// receiver, and ImpairDrops is stochastic wire loss from the impairment
+// pipeline (the sender still saw the packet accepted). Corrupted,
+// Duplicated and Reordered likewise count impairment-pipeline events
+// only, never adversarial modification or protocol retransmission.
 type LinkStats struct {
 	TxPackets uint64
 	TxBytes   uint64
@@ -60,6 +73,17 @@ type LinkStats struct {
 	// flight when the link went down and were discarded at the receiving
 	// end (only with LinkConfig.DropInFlight).
 	InFlightDrops uint64
+	// ImpairDrops counts packets consumed by a loss stage of the
+	// impairment pipeline after the sender accepted them.
+	ImpairDrops uint64
+	// Corrupted counts packets whose bytes a Corrupt stage flipped.
+	Corrupted uint64
+	// Duplicated counts extra copies a Duplicate stage injected.
+	Duplicated uint64
+	// Reordered counts deliveries scheduled to arrive earlier than a
+	// previously scheduled delivery of the same direction (jitter from a
+	// Reorder stage let a later send overtake an earlier one).
+	Reordered uint64
 }
 
 type attachment struct {
@@ -78,6 +102,15 @@ type linkDir struct {
 	// coexistence contract of the hybrid traffic engine.
 	fluidBps float64
 	stats    LinkStats
+	// pipe is the direction's impairment pipeline (nil for clean links —
+	// the fast path in Send stays bit-identical to the pre-impairment
+	// engine). Owned by the transmitting end's domain.
+	pipe *impairPipeline
+	// maxDeliverAt is the latest delivery instant scheduled so far, used
+	// to detect reordering. Only maintained when pipe is non-nil: the
+	// hybrid fluid delay can also shrink between sends, and clean links
+	// must not pay for (or report) impairment bookkeeping.
+	maxDeliverAt time.Duration
 }
 
 // Fluid/packet coexistence constants.
@@ -157,7 +190,27 @@ var linkIDs atomic.Uint64
 func NewLink(sched *sim.Scheduler, name string, cfg LinkConfig) *Link {
 	l := &Link{}
 	l.init(sched, name, linkIDs.Add(1), cfg)
+	l.buildImpairments()
 	return l
+}
+
+// buildImpairments instantiates the per-direction impairment pipelines
+// from cfg.Impairments. Called after denseIdx is final: the stage seeds
+// incorporate the link's creation index within its Network (not the
+// process-global id, which varies across runs sharing the process), so
+// the same run inputs always yield the same impairment decisions.
+func (l *Link) buildImpairments() {
+	spec := l.cfg.Impairments
+	if spec == nil {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("netem: link %s: %v", l.name, err))
+	}
+	idx := uint64(l.denseIdx + 1) // standalone links (denseIdx -1) hash as 0
+	for dir := range l.dirs {
+		l.dirs[dir].pipe = spec.build(idx, dir)
+	}
 }
 
 // init fills in a (possibly arena-allocated) zero link.
@@ -305,10 +358,39 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 		d.stats.Drops++
 		return false
 	}
-	dst := l.ends[1-fromEnd]
-	if dst.recv == nil {
+	if l.ends[1-fromEnd].recv == nil {
 		panic(fmt.Sprintf("netem: link %s end %d has no peer", l.name, 1-fromEnd))
 	}
+	if d.pipe == nil {
+		// Clean link: the pre-impairment fast path, bit-identical to the
+		// historical engine.
+		return l.sendOne(fromEnd, d, pkt, 0)
+	}
+	// Impaired link: the pipeline may drop the packet (wire loss — the
+	// sender still sees success, unlike backpressure), replace it with a
+	// corrupted clone, append duplicates, or assign extra delays. Each
+	// surviving delivery then takes the ordinary serialisation path, so
+	// duplicates occupy queue slots and transmission time like real
+	// frames. Send reports acceptance: true unless backpressure refused
+	// every surviving copy.
+	dl := d.pipe.apply(pkt, &d.stats)
+	ok := len(dl) > 0
+	if !ok {
+		return true // consumed by wire loss, not refused
+	}
+	sent := false
+	for i := range dl {
+		if l.sendOne(fromEnd, d, dl[i].pkt, dl[i].extra) {
+			sent = true
+		}
+	}
+	return sent
+}
+
+// sendOne runs one delivery through serialisation, queueing and
+// propagation, with extra added to the propagation delay (jitter from a
+// Reorder stage). It reports whether the queue accepted the packet.
+func (l *Link) sendOne(fromEnd int, d *linkDir, pkt *packet.Packet, extra time.Duration) bool {
 	if l.cfg.QueueLimit > 0 && d.queued >= l.cfg.QueueLimit {
 		d.stats.Drops++
 		return false
@@ -350,7 +432,20 @@ func (l *Link) Send(fromEnd int, pkt *packet.Packet) bool {
 	ch := l.id*2 + uint64(fromEnd)
 	seq := d.deliverSeq
 	d.deliverSeq++
-	at := finish + l.cfg.Delay + fluidDelay
+	at := finish + l.cfg.Delay + fluidDelay + extra
+	if d.pipe != nil {
+		// Reorder accounting: a delivery landing strictly before one
+		// already scheduled means a later send overtook an earlier one.
+		// Channel-event keys need uniqueness only per (deadline, ch), so
+		// out-of-order deadlines on one channel are fine — and the extra
+		// delay is >= 0, so at never undercuts the propagation delay that
+		// bounds the partitioned engine's lookahead.
+		if at < d.maxDeliverAt {
+			d.stats.Reordered++
+		} else {
+			d.maxDeliverAt = at
+		}
+	}
 	if cp := l.cross[fromEnd]; cp != nil {
 		cp.Post(at, ch, seq, linkDeliver, l, pkt, fromEnd)
 	} else {

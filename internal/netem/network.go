@@ -280,6 +280,9 @@ func (n *Network) Connect(a Node, aPort int, b Node, bPort int, cfg LinkConfig) 
 // wire binds both ends of an initialised link and applies partitioned-
 // mode scheduler/boundary assignment.
 func (n *Network) wire(l *Link, a Node, aPort int, b Node, bPort int, cfg LinkConfig) {
+	// The impairment pipelines seed from denseIdx, which both Connect
+	// paths (direct and batch) have finalised by now.
+	l.buildImpairments()
 	if n.scheds != nil {
 		da, db := n.DomainOf(a.Name()), n.DomainOf(b.Name())
 		l.scheds[0] = n.scheds[da]

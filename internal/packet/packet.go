@@ -119,6 +119,11 @@ type Meta struct {
 	// UID identifies the logical packet across clones, for tracing which
 	// combiner copies stem from the same original.
 	UID uint64
+	// Corrupted marks a packet whose bytes a netem Corrupt impairment
+	// stage flipped. Simulation bookkeeping only — it lets receivers and
+	// oracles distinguish modelled line noise from adversarial
+	// modification without re-deriving it from the payload.
+	Corrupted bool
 }
 
 // Clone returns a deep copy. The copy shares no mutable state with the

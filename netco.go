@@ -456,7 +456,31 @@ const (
 	ExperimentPing   = experiment.KindPing
 	ExperimentJitter = experiment.KindJitter
 	ExperimentHybrid = experiment.KindHybrid
+	ExperimentChaos  = experiment.KindChaos
+	ExperimentImpair = experiment.KindImpair
 )
+
+// Link impairments: the netem vocabulary (correlated and
+// Gilbert-Elliott loss, corruption, duplication, jitter reordering) as
+// a seeded deterministic pipeline on every trunk (Params.Impair).
+type (
+	ImpairParams   = experiment.ImpairParams
+	ImpairResult   = experiment.ImpairResult
+	ImpairCounters = experiment.ImpairCounters
+	// LossGE parameterises the 2-state Gilbert-Elliott loss model.
+	LossGE = netem.LossGE
+)
+
+// GilbertElliott builds the classic Gilbert-Elliott loss model (lose
+// everything in the bad state, nothing in the good state) from the two
+// transition probabilities.
+func GilbertElliott(pGoodBad, pBadGood float64) LossGE {
+	return LossGE{PGoodBad: pGoodBad, PBadGood: pBadGood, LossBad: 1}
+}
+
+// RunImpair measures UDP delivery with the Params.Impair pipeline on
+// every trunk link — the goodput-surface unit behind impairment sweeps.
+func RunImpair(p Params, s Scenario) ImpairResult { return experiment.RunImpair(p, s) }
 
 // RunExperiment executes one experiment kind in isolation: a fresh
 // scheduler, pools and engines per call, safe to invoke from many
