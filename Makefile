@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid sweep-smoke hybrid-smoke hybrid-scale-smoke fuzz fuzz-smoke chaos-smoke impairment-smoke
+.PHONY: check vet build test race bench-guard bench bench-flows bench-scale bench-hybrid bench-churn sweep-smoke hybrid-smoke hybrid-scale-smoke churn-smoke fuzz fuzz-smoke chaos-smoke impairment-smoke
 
 # check is the pre-merge gate: static checks, the full test suite under
 # the race detector (with scratch poisoning on, so retained engine events
@@ -10,7 +10,7 @@ GO ?= go
 # end-to-end parallel sweep smoke run, the hybrid-engine digest-stability
 # smoke, the scenario-fuzzer smoke, the chaos-lifecycle smoke, and the
 # impairment-pipeline smoke.
-check: vet build race bench-guard sweep-smoke hybrid-smoke hybrid-scale-smoke fuzz-smoke chaos-smoke impairment-smoke
+check: vet build race bench-guard sweep-smoke hybrid-smoke hybrid-scale-smoke churn-smoke fuzz-smoke chaos-smoke impairment-smoke
 
 vet:
 	$(GO) vet ./...
@@ -69,6 +69,17 @@ hybrid-scale-smoke:
 		-hybrid-build-budget-ms 1000
 	@echo "hybrid-scale-smoke: 96k-flow digest bit-identical, build inside budget"
 
+# churn-smoke gates the churn-scale flow lifecycle engine: the fluid
+# allocator's recycle/conservation/hysteresis tests and steady-state
+# allocation guards, then a quick netco-bench churn run whose digest —
+# per-epoch live flow rates, live counts and settle counts — must be
+# bit-identical between serial and 4-worker parallel settle (the bench
+# exits nonzero on divergence).
+churn-smoke:
+	$(GO) test ./internal/traffic/ -run 'TestFluidFlowRecycle|TestFluidChurn|TestFluidDemoteHysteresis|TestFluidSettleSteadyStateAllocs' -count 1
+	$(GO) run ./cmd/netco-bench -churn -quick -churn-workers 4
+	@echo "churn-smoke: lifecycle accounting clean, digest bit-identical serial vs parallel settle"
+
 # fuzz-smoke is the scenario fuzzer's pre-merge budget: 200 randomized
 # Byzantine scenarios through all four invariant oracles (masking,
 # detection, no-forgery, determinism), then a sabotage pass that weakens
@@ -122,7 +133,7 @@ fuzz:
 # allocating is noticed in its -benchmem output.
 bench-guard:
 	$(GO) test -run '^$$' -bench 'SteadyState|Churn|EngineExpire' -benchtime 1x -benchmem \
-		./internal/core/ ./internal/sim/
+		./internal/core/ ./internal/sim/ ./internal/traffic/
 	$(GO) test -run '^$$' -bench 'FlowTableLookup|SwitchPipeline' -benchtime 1x -benchmem \
 		./internal/openflow/ ./internal/switching/
 
@@ -144,6 +155,15 @@ bench-scale:
 # runs the scenario twice and exits nonzero if the digests diverge.
 bench-hybrid:
 	$(GO) run ./cmd/netco-bench -hybrid
+
+# bench-churn reproduces the churn-lifecycle numbers recorded in
+# BENCH_10.json: the arity-90 fat tree (10125 switches, 182250 hosts)
+# under 600k flow arrivals per sim-second for one simulated second —
+# 1M+ lifecycle events per sim-second through arena-recycled flows,
+# wheel-timed departures and per-component parallel settle. The bench
+# runs serial first and exits nonzero if the parallel digest diverges.
+bench-churn:
+	$(GO) run ./cmd/netco-bench -churn
 
 # bench-flows reproduces the classifier numbers recorded in BENCH_3.json:
 # two-tier lookup vs the seed's linear scan at 8/64/512 rules, plus the

@@ -5,9 +5,10 @@
 // Usage:
 //
 //	netco-bench [-table1] [-fig4] [-fig5] [-fig6] [-fig7] [-fig8] [-all]
-//	            [-scale] [-hybrid] [-parallel n] [-full] [-quick] [-seed n]
+//	            [-scale] [-hybrid] [-churn] [-parallel n] [-full] [-quick] [-seed n]
 //	            [-hybrid-arity k] [-hybrid-flows-per-host n] [-hybrid-monitored n]
 //	            [-hybrid-promote-rho r] [-hybrid-build-budget-ms b]
+//	            [-churn-arity k] [-churn-rate a] [-churn-workers n]
 //	            [-cpuprofile f] [-memprofile f] [-json f]
 //
 // Without selection flags, -all is assumed. -full uses the paper's
@@ -55,6 +56,7 @@ func run() error {
 		dos    = flag.Bool("dos", false, "extension: DoS attacks vs the §IV defences")
 		scale  = flag.Bool("scale", false, "extension: parallel-engine scaling benchmark (fat-tree cross-pod UDP, partition sweep; BENCH_5.json)")
 		hybrid = flag.Bool("hybrid", false, "extension: hybrid fluid/packet traffic engine (1k-switch fluid fat tree, 100k+ flows, packet-exact combiner region; BENCH_6.json)")
+		churn  = flag.Bool("churn", false, "extension: churn-scale flow lifecycle engine (arity-90 fluid fat tree, 1M+ lifecycle events per sim-second; BENCH_10.json)")
 		impair = flag.Bool("impair", false, "extension: UDP delivery with the netem impairment pipeline (Gilbert-Elliott loss, duplication, corruption, reordering) on every trunk")
 
 		impLoss    = flag.Float64("impair-loss", 1, "impair section: i.i.d. trunk loss percent")
@@ -69,6 +71,10 @@ func run() error {
 		hybMonitored = flag.Int("hybrid-monitored", 0, "override how many hybrid flows are monitored through the compare region (0 = scenario default)")
 		hybRho       = flag.Float64("hybrid-promote-rho", 0, "bottleneck utilisation that promotes a hybrid fluid flow to packets (0 = promotion by region crossing only)")
 		hybBudgetMS  = flag.Float64("hybrid-build-budget-ms", 0, "fail if the hybrid build (topo+wire+flows) exceeds this many milliseconds (0 = no ceiling; regression guard for make hybrid-scale-smoke)")
+
+		churnArity   = flag.Int("churn-arity", 0, "override the churn fat-tree arity (0 = 90, the BENCH_10 point)")
+		churnRate    = flag.Float64("churn-rate", 0, "override the churn arrival rate in flows per sim-second (0 = BENCH_10 default)")
+		churnWorkers = flag.Int("churn-workers", 0, "override the churn parallel-settle worker count (0 = one per core; digest is checked against a serial run either way)")
 		all          = flag.Bool("all", false, "reproduce everything")
 		full         = flag.Bool("full", false, "paper-faithful durations (10s × 10 runs)")
 		quick        = flag.Bool("quick", false, "smoke-test durations")
@@ -99,7 +105,7 @@ func run() error {
 	// section.scenario.quantity, for the -json report.
 	metrics := map[string]float64{}
 
-	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *arch || *ksweep || *dos || *scale || *hybrid || *impair) {
+	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *arch || *ksweep || *dos || *scale || *hybrid || *churn || *impair) {
 		*all = true
 	}
 
@@ -372,6 +378,96 @@ func run() error {
 				fmt.Sprintf("%.3f", secs)},
 		}
 		if err := writeCSV(*csvDir, "hybrid.csv", rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *churn {
+		// BENCH_10 workload: the arity-90 fat tree (10125 switches,
+		// 182250 hosts) under an open M/G/∞ lifecycle at 600k flow
+		// arrivals per sim-second. Mean flow lifetime is 8·size/demand
+		// = 20 ms, so steady state holds ~12k concurrent flows while
+		// arrivals+departures together clear 1M lifecycle events per
+		// simulated second — the tentpole target. The digest is checked
+		// against a serial-settle run, so the headline numbers come
+		// from a configuration whose determinism was just proven.
+		hp := netco.DefaultHybridParams()
+		hp.Arity = 90
+		hp.FlowDemand = 15e6
+		hp.Duration = time.Second
+		hp.Epoch = 10 * time.Millisecond
+		hp.ChurnArrivals = 600_000
+		hp.ChurnMeanBytes = 37_500
+		hp.ChurnParetoFrac = 0.3
+		hp.ChurnCrossFrac = 0.02
+		if *quick {
+			hp.Arity = 10
+			hp.Duration = 250 * time.Millisecond
+			hp.ChurnArrivals = 40_000
+		}
+		if *churnArity > 0 {
+			hp.Arity = *churnArity
+		}
+		if *churnRate > 0 {
+			hp.ChurnArrivals = *churnRate
+		}
+		workers := runtime.GOMAXPROCS(0)
+		if *churnWorkers > 0 {
+			workers = *churnWorkers
+		}
+		fmt.Printf("== Extension: churn-scale flow lifecycle (%d-ary fat tree, %.0f arrivals/sim-s) ==\n",
+			hp.Arity, hp.ChurnArrivals)
+		hp.SettleWorkers = 1
+		serialRun := netco.RunChurn(p, hp)
+		hp.SettleWorkers = workers
+		wall := time.Now()
+		r := netco.RunChurn(p, hp)
+		secs := time.Since(wall).Seconds()
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		peakHeapMB := float64(mem.HeapSys-mem.HeapReleased) / (1 << 20)
+		if r.Digest != serialRun.Digest {
+			return fmt.Errorf("churn: digest diverged between serial and %d-worker settle", workers)
+		}
+		fmt.Printf("  %d switches, %d hosts; build %.0f ms (topo %.0f, wire %.0f)\n",
+			r.Switches, r.Hosts, r.BuildTopoMS+r.BuildWireMS, r.BuildTopoMS, r.BuildWireMS)
+		fmt.Printf("  %d arrivals, %d departures, peak %d live, %d recycled, %d wheel expiries\n",
+			r.Arrivals, r.Departures, r.PeakLive, r.Recycled, r.WheelExpired)
+		fmt.Printf("  %d settles over %d components (%d workers); %.3g lifecycle events/sim-s\n",
+			r.Settles, r.ComponentsSolved, workers, r.LifecycleEventsPerSimSec)
+		fmt.Printf("  goodput %.1f Mbit/s aggregate; %.2fs wall, peak heap %.0f MiB\n",
+			r.DeliveredBits/hp.Duration.Seconds()/1e6, secs, peakHeapMB)
+		fmt.Printf("  digest bit-identical: serial vs %d-worker settle\n", workers)
+		metrics["churn.arity"] = float64(r.Arity)
+		metrics["churn.switches"] = float64(r.Switches)
+		metrics["churn.hosts"] = float64(r.Hosts)
+		metrics["churn.arrivals"] = float64(r.Arrivals)
+		metrics["churn.departures"] = float64(r.Departures)
+		metrics["churn.peak_live"] = float64(r.PeakLive)
+		metrics["churn.recycled_flows"] = float64(r.Recycled)
+		metrics["churn.wheel_expired"] = float64(r.WheelExpired)
+		metrics["churn.events"] = float64(r.Events)
+		metrics["churn.settles"] = float64(r.Settles)
+		metrics["churn.settle_components"] = float64(r.ComponentsSolved)
+		metrics["churn.settle_workers"] = float64(workers)
+		metrics["churn.arrivals_per_sim_s"] = r.ArrivalsPerSimSec
+		metrics["churn.lifecycle_events_per_sim_s"] = r.LifecycleEventsPerSimSec
+		metrics["churn.goodput_mbps"] = r.DeliveredBits / hp.Duration.Seconds() / 1e6
+		metrics["churn.build_topo_ms"] = r.BuildTopoMS
+		metrics["churn.build_wire_ms"] = r.BuildWireMS
+		metrics["churn.wall_s"] = secs
+		metrics["churn.peak_heap_mb"] = peakHeapMB
+		rows := [][]string{
+			{"switches", "hosts", "arrivals", "departures", "peak_live", "recycled",
+				"settles", "components", "lifecycle_events_per_sim_s", "wall_s", "peak_heap_mb"},
+			{strconv.Itoa(r.Switches), strconv.Itoa(r.Hosts),
+				strconv.FormatUint(r.Arrivals, 10), strconv.FormatUint(r.Departures, 10),
+				strconv.Itoa(r.PeakLive), strconv.FormatUint(r.Recycled, 10),
+				strconv.FormatUint(r.Settles, 10), strconv.FormatUint(r.ComponentsSolved, 10),
+				fmt.Sprintf("%.0f", r.LifecycleEventsPerSimSec),
+				fmt.Sprintf("%.3f", secs), fmt.Sprintf("%.0f", peakHeapMB)},
+		}
+		if err := writeCSV(*csvDir, "churn.csv", rows); err != nil {
 			return err
 		}
 		fmt.Println()

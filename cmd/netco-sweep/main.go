@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netco-sweep [-kinds tcp,udp,ping,jitter,hybrid,chaos,impair] [-scenarios all|name,...]
+//	netco-sweep [-kinds tcp,udp,ping,jitter,hybrid,chaos,impair,churn] [-scenarios all|name,...]
 //	            [-seeds 1,2,3 | -seeds 1:10] [-trunk-mbps 250,500,1000]
 //	            [-chaos-crashes 0,1,2] [-chaos-flap-ms 0,10,20]
 //	            [-loss 0,1,5] [-loss-corr 25] [-loss-ge 1:25,5:50:80:0.5]
@@ -86,7 +86,7 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("netco-sweep", flag.ContinueOnError)
 	var (
-		kindsFlag = fs.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter,hybrid,chaos,impair)")
+		kindsFlag = fs.String("kinds", "tcp,udp,ping", "experiment kinds to run (tcp,udp,ping,jitter,hybrid,chaos,impair,churn)")
 		scenFlag  = fs.String("scenarios", "Linespeed,Central3", `scenarios, comma-separated, or "all"`)
 		seedsFlag = fs.String("seeds", "1", `seed list "1,2,3" or range "1:10" (inclusive)`)
 		trunkFlag = fs.String("trunk-mbps", "", "optional trunk-rate grid in Mbit/s (one variant per value)")

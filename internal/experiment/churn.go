@@ -1,0 +1,345 @@
+package experiment
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/sim"
+	"netco/internal/traffic"
+)
+
+// The churn engine measures the fluid tier's flow *lifecycle*
+// throughput: how many arrivals and departures per simulated second the
+// allocator sustains on a full fat-tree fabric while staying exact. It
+// leans on three mechanisms built for it:
+//
+//   - arena-recycled flows: FluidNet free-lists released flow objects
+//     (and this engine free-lists its churnFlow records), so steady-
+//     state churn allocates nothing per flow;
+//   - parallel per-component settle: arrivals land pod-local by
+//     default, so the fabric decomposes into ~Arity independent
+//     allocator components that SettleWorkers solves concurrently,
+//     bit-identical to serial;
+//   - a hierarchical timer wheel: each flow's departure is one wheel
+//     entry; a churn epoch costs O(expiring flows), not O(log n) heap
+//     churn per arm/fire.
+//
+// The workload is an M/G/∞-style open system: Poisson-batched arrivals
+// (ChurnArrivals per sim-second, batched into one scheduler event per
+// ChurnWaveEvery), flow sizes mixing exponential mice with Pareto
+// α=1.5 elephants around ChurnMeanBytes, and a departure armed at
+// arrival + size/FlowDemand. Under contention a flow delivers less
+// than its drawn size in that window — the model fixes *lifetimes*,
+// not byte counts, so the lifecycle rate is a control variable rather
+// than an outcome. Everything random is drawn from one sim.RNG seeded
+// by Params.Seed in event order, so a run is a pure function of its
+// inputs; the digest folds per-epoch allocator state and must be
+// bit-identical at any SettleWorkers count and under the FullResettle
+// oracle.
+
+// ChurnResult is one churn run's outcome.
+type ChurnResult struct {
+	Arity         int `json:"arity"`
+	Hosts         int `json:"hosts"`
+	Switches      int `json:"switches"`
+	SettleWorkers int `json:"settle_workers"`
+
+	// Arrivals and Departures count natural lifecycle events inside
+	// Duration (the end-of-run drain releases EndLive flows without
+	// counting them). PeakLive is the high-water concurrent flow count.
+	Arrivals   uint64 `json:"arrivals"`
+	Departures uint64 `json:"departures"`
+	EndLive    int    `json:"end_live"`
+	PeakLive   int    `json:"peak_live"`
+
+	// Recycled counts flow objects served from the allocator's free
+	// list — arrivals minus the arena's high-water mark.
+	Recycled uint64 `json:"recycled"`
+
+	Events           uint64 `json:"events"`
+	Settles          uint64 `json:"settles"`
+	ComponentsSolved uint64 `json:"components_solved"`
+	// WheelExpired counts departures fired through the timer wheel;
+	// WheelPending is what remained armed past the drain (flows whose
+	// deadline outlived the run).
+	WheelExpired uint64 `json:"wheel_expired"`
+	WheelPending int    `json:"wheel_pending"`
+
+	// DeliveredBits totals every flow's delivered traffic; after the
+	// drain all of it sits in the allocator's retired accumulator.
+	DeliveredBits float64 `json:"delivered_bits"`
+
+	ArrivalsPerSimSec        float64 `json:"arrivals_per_sim_s"`
+	LifecycleEventsPerSimSec float64 `json:"lifecycle_events_per_sim_s"`
+
+	BuildTopoMS float64 `json:"build_topo_ms"`
+	BuildWireMS float64 `json:"build_wire_ms"`
+
+	// Digest is the determinism witness: FNV-64a over per-epoch
+	// (live flow rate bits, live count, settles) samples plus the final
+	// accounting, bit-identical across SettleWorkers counts and the
+	// FullResettle oracle.
+	Digest string `json:"digest"`
+}
+
+// churnFlow is the engine's per-flow record. Records are free-listed
+// like the fluid flows they wrap, so steady-state churn reuses both.
+type churnFlow struct {
+	fluid *traffic.FluidFlow
+	pos   int // index in the live list; -1 when free
+}
+
+type churnEngine struct {
+	sched *sim.Scheduler
+	fn    *traffic.FluidNet
+	wheel *sim.Wheel
+	fb    *fluidFabric
+	rng   *sim.RNG
+	hp    HybridParams
+
+	live     []*churnFlow
+	free     []*churnFlow
+	peakLive int
+
+	arrivals, departures uint64
+	carry                float64 // fractional arrivals carried wave to wave
+
+	waveEvery time.Duration
+	waveFn    func()
+	sampleFn  func()
+
+	departCall sim.CallFunc
+	hopsBuf    []traffic.Hop
+
+	digest  *fnvFold
+	samples int
+}
+
+// fnvFold is a tiny helper folding uint64s into an FNV-64a stream.
+type fnvFold struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+func newFnvFold() *fnvFold { return &fnvFold{h: fnv.New64a()} }
+
+func (f *fnvFold) put(v uint64) {
+	for b := 0; b < 8; b++ {
+		f.buf[b] = byte(v >> (8 * b))
+	}
+	f.h.Write(f.buf[:])
+}
+
+// drawSize draws one flow size (bytes): exponential mice, with
+// probability ChurnParetoFrac a Pareto α=1.5 elephant, both with mean
+// ChurnMeanBytes.
+func (e *churnEngine) drawSize() float64 {
+	mean := e.hp.ChurnMeanBytes
+	if e.hp.ChurnParetoFrac > 0 && e.rng.Float64() < e.hp.ChurnParetoFrac {
+		const alpha = 1.5
+		xm := mean * (alpha - 1) / alpha // Pareto mean is α·xm/(α−1)
+		return xm / math.Pow(1-e.rng.Float64(), 1/alpha)
+	}
+	return mean * e.rng.ExpFloat64()
+}
+
+// arrive starts one flow: pick endpoints (pod-local unless the
+// ChurnCrossFrac draw routes it through the core), recycle or allocate
+// a record, register the fluid flow, and arm its departure on the
+// wheel. The wheel entry carries the record pointer directly — no
+// closure, no allocation on the steady-state path.
+func (e *churnEngine) arrive(now time.Duration) {
+	fb := e.fb
+	srcG := e.rng.Intn(len(fb.hosts))
+	sp, sl := srcG/fb.perPod, srcG%fb.perPod
+	var dstG int
+	if e.hp.ChurnCrossFrac > 0 && e.rng.Float64() < e.hp.ChurnCrossFrac {
+		dp := (sp + 1 + e.rng.Intn(fb.arity-1)) % fb.arity
+		dstG = dp*fb.perPod + e.rng.Intn(fb.perPod)
+	} else {
+		dl := e.rng.Intn(fb.perPod - 1)
+		if dl >= sl {
+			dl++
+		}
+		dstG = sp*fb.perPod + dl
+	}
+
+	var cf *churnFlow
+	if n := len(e.free); n > 0 {
+		cf = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		cf = &churnFlow{}
+	}
+	e.hopsBuf = fb.pathFor(srcG, dstG, e.hopsBuf[:0])
+	cf.fluid = e.fn.NewFlow(e.hp.FlowDemand, e.hopsBuf)
+	cf.fluid.Start()
+	cf.pos = len(e.live)
+	e.live = append(e.live, cf)
+	if len(e.live) > e.peakLive {
+		e.peakLive = len(e.live)
+	}
+	e.arrivals++
+
+	life := time.Duration(8 * e.drawSize() / e.hp.FlowDemand * float64(time.Second))
+	if life <= 0 {
+		life = time.Microsecond
+	}
+	e.wheel.AtCall(now+life, e.departCall, cf, nil, 0)
+}
+
+// depart is the wheel callback: release the flow back to the arena.
+// Records already force-released by the drain are skipped.
+func (e *churnEngine) depart(a0, _ any, _ int) {
+	cf := a0.(*churnFlow)
+	if cf.pos < 0 {
+		return
+	}
+	e.remove(cf)
+	e.departures++
+}
+
+// remove releases cf's fluid flow and returns the record to the free
+// list (live-list swap removal, like the allocator's own flow list).
+func (e *churnEngine) remove(cf *churnFlow) {
+	cf.fluid.Release()
+	last := len(e.live) - 1
+	moved := e.live[last]
+	e.live[cf.pos] = moved
+	moved.pos = cf.pos
+	e.live[last] = nil
+	e.live = e.live[:last]
+	cf.pos = -1
+	cf.fluid = nil
+	e.free = append(e.free, cf)
+}
+
+// wave is the batched-arrival event: start every flow due in the
+// interval (rate × interval, with the fractional remainder carried so
+// the long-run rate is exact), then re-arm until Duration.
+func (e *churnEngine) wave() {
+	now := e.sched.Now()
+	n := e.hp.ChurnArrivals*e.waveEvery.Seconds() + e.carry
+	k := int(n)
+	e.carry = n - float64(k)
+	for i := 0; i < k; i++ {
+		e.arrive(now)
+	}
+	if now+e.waveEvery < e.hp.Duration {
+		e.sched.After(e.waveEvery, e.waveFn)
+	}
+}
+
+// sample folds the allocator's observable state into the digest just
+// before each epoch boundary (1µs early, so it never ties with settle
+// events). Any divergence in any settle — a rate, an accrual, a
+// recycle — shows up here.
+func (e *churnEngine) sample() {
+	// Fold every live flow's settled rate, in live-list order. Rates are
+	// the quantity the settle invariant actually pins bit-for-bit across
+	// worker counts AND under the FullResettle oracle; accrued bits are
+	// not (the oracle re-accrues every flow each settle, segmenting the
+	// same rate·time integral differently in float arithmetic). The
+	// live-list order itself is deterministic — it is a pure function of
+	// the arrival/departure event sequence, which the digest inputs fix.
+	for _, cf := range e.live {
+		e.digest.put(math.Float64bits(cf.fluid.Rate()))
+	}
+	e.digest.put(uint64(len(e.live)))
+	e.digest.put(e.fn.Settles())
+	e.samples++
+	if e.sched.Now()+e.hp.Epoch < e.hp.Duration {
+		e.sched.After(e.hp.Epoch, e.sampleFn)
+	}
+}
+
+// RunChurn builds a fat-tree fluid fabric and drives an open flow
+// lifecycle workload over it. Like the other experiment units it is a
+// pure function of (Params, HybridParams).
+func RunChurn(p Params, hp HybridParams) ChurnResult {
+	if hp.Arity < 2 || hp.Arity%2 != 0 {
+		panic(fmt.Sprintf("experiment: churn arity %d must be even and >= 2", hp.Arity))
+	}
+	if hp.Epoch <= 0 {
+		hp.Epoch = 10 * time.Millisecond
+	}
+	if hp.ChurnWaveEvery <= 0 {
+		hp.ChurnWaveEvery = hp.Epoch / 4
+	}
+	if hp.ChurnMeanBytes <= 0 {
+		hp.ChurnMeanBytes = 40_000
+	}
+
+	sched := sim.NewScheduler()
+	nw := netem.New(sched)
+	fb := buildFluidFabric(sched, nw, p, hp.Arity)
+
+	fn := traffic.NewFluidNet(sched, traffic.FluidConfig{
+		Epoch:         hp.Epoch,
+		SettleWorkers: hp.SettleWorkers,
+		FullResettle:  hp.FullResettle,
+	})
+	e := &churnEngine{
+		sched:     sched,
+		fn:        fn,
+		wheel:     sim.NewWheel(sched, 100*time.Microsecond),
+		fb:        fb,
+		rng:       sim.NewRNG(p.Seed),
+		hp:        hp,
+		waveEvery: hp.ChurnWaveEvery,
+		hopsBuf:   make([]traffic.Hop, 0, 8),
+		digest:    newFnvFold(),
+	}
+	e.departCall = e.depart
+	e.waveFn = e.wave
+	e.sampleFn = e.sample
+	sched.After(0, e.waveFn)
+	sched.After(hp.Epoch-time.Microsecond, e.sampleFn)
+
+	sched.RunFor(hp.Duration)
+
+	// Natural lifecycle counts end here; the drain below releases the
+	// remainder without counting them as departures.
+	natDepartures := e.departures
+	endLive := len(e.live)
+	for len(e.live) > 0 {
+		e.remove(e.live[len(e.live)-1])
+	}
+	sched.RunFor(2 * hp.Epoch) // the delisting settle retires the drained flows
+	fn.Close()
+
+	e.digest.put(e.arrivals)
+	e.digest.put(natDepartures)
+	e.digest.put(fn.Settles())
+	digest := fmt.Sprintf("churn=%016x|arrivals=%d|departures=%d|samples=%d|settles=%d",
+		e.digest.h.Sum64(), e.arrivals, natDepartures, e.samples, fn.Settles())
+
+	secs := hp.Duration.Seconds()
+	return ChurnResult{
+		Arity:                    hp.Arity,
+		Hosts:                    len(fb.hosts),
+		Switches:                 fb.switches(),
+		SettleWorkers:            hp.SettleWorkers,
+		Arrivals:                 e.arrivals,
+		Departures:               natDepartures,
+		EndLive:                  endLive,
+		PeakLive:                 e.peakLive,
+		Recycled:                 fn.Recycled(),
+		Events:                   sched.Executed(),
+		Settles:                  fn.Settles(),
+		ComponentsSolved:         fn.ComponentsSolved(),
+		WheelExpired:             e.wheel.Expired(),
+		WheelPending:             e.wheel.Pending(),
+		DeliveredBits:            fn.RetiredBits(),
+		ArrivalsPerSimSec:        float64(e.arrivals) / secs,
+		LifecycleEventsPerSimSec: float64(e.arrivals+natDepartures) / secs,
+		BuildTopoMS:              fb.topoMS,
+		BuildWireMS:              fb.wireMS,
+		Digest:                   digest,
+	}
+}

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netco/internal/netem"
+	"netco/internal/packet"
+	"netco/internal/pool"
+	"netco/internal/sim"
+	"netco/internal/topo"
+	"netco/internal/traffic"
+)
+
+// fluidFabric is the fat-tree fabric shared by the hybrid and churn
+// engines: the switches, the hosts hanging off the edge layer, and the
+// deterministic two-level routing that turns a (src, dst) host pair
+// into a fluid path or a node-name route. Both engines build it the
+// same way so their link creation order — and therefore same-instant
+// event tie-breaking — is identical for identical sizing.
+type fluidFabric struct {
+	arity, half, perPod int
+
+	ft    *topo.FatTree
+	hosts []*traffic.Host
+
+	// Build-time breakdown (wall clock): switches + trunk links, then
+	// host builds + host links. Provenance only.
+	topoMS, wireMS float64
+}
+
+// buildFluidFabric constructs the fat tree and its hosts. Hosts are
+// built per pod (concurrently when Workers allows — NewHost touches
+// only its own state), registered serially (the node map), then wired
+// to their edge switches through a reserved link batch whose slot order
+// equals the serial Connect order, keeping link ids — and same-instant
+// tie-break bands — identical at any worker count.
+func buildFluidFabric(sched *sim.Scheduler, nw *netem.Network, p Params, arity int) *fluidFabric {
+	half := arity / 2
+	perPod := half * half
+	topoStart := time.Now()
+	ft := topo.BuildFatTree(nw, topo.FatTreeParams{
+		Arity:           arity,
+		Link:            p.TrunkLink(),
+		SwitchProcDelay: p.SwitchProc,
+		SwitchProcQueue: p.SwitchQueue,
+		Workers:         p.Workers,
+	})
+	topoMS := float64(time.Since(topoStart)) / float64(time.Millisecond)
+
+	wireStart := time.Now()
+	hosts := make([]*traffic.Host, arity*perPod)
+	hcfg := hostCfgOf(p)
+	pool.Map(context.Background(), buildWorkers(p.Workers), arity, func(pod int) (struct{}, error) {
+		for e := 0; e < half; e++ {
+			for s := 0; s < half; s++ {
+				g := pod*perPod + e*half + s
+				name := fmt.Sprintf("pod%d-h%d", pod, e*half+s)
+				hosts[g] = traffic.NewHost(sched, name, packet.HostMAC(uint32(1+g)), packet.HostIP(uint32(1+g)), hcfg)
+			}
+		}
+		return struct{}{}, nil
+	})
+	for _, h := range hosts {
+		nw.Add(h)
+	}
+	hostBatch := nw.ReserveLinks(len(hosts))
+	pool.Map(context.Background(), buildWorkers(p.Workers), arity, func(pod int) (struct{}, error) {
+		for e := 0; e < half; e++ {
+			for s := 0; s < half; s++ {
+				g := pod*perPod + e*half + s
+				hostBatch.Connect(g, hosts[g], traffic.HostPort, ft.Pods[pod].Edge[e], ft.EdgeHostPortOf(s), p.HostLink())
+			}
+		}
+		return struct{}{}, nil
+	})
+	wireMS := float64(time.Since(wireStart)) / float64(time.Millisecond)
+
+	return &fluidFabric{
+		arity: arity, half: half, perPod: perPod,
+		ft: ft, hosts: hosts,
+		topoMS: topoMS, wireMS: wireMS,
+	}
+}
+
+// switches counts the fabric switches (cores + per-pod agg and edge).
+func (fb *fluidFabric) switches() int {
+	return fb.half*fb.half + fb.arity*fb.arity
+}
+
+// hopOf resolves a transmitting (node, port) to a fluid Hop.
+func (fb *fluidFabric) hopOf(n netem.Node, port int) traffic.Hop {
+	l, end := n.Ports().Ref(port)
+	return traffic.Hop{Link: l, End: end}
+}
+
+// pathFor appends the directed fluid path srcG→dstG to hops (a reused
+// scratch buffer — NewFlow copies what it needs) along the
+// deterministic fat-tree routing (agg by destination slot, core by
+// destination pod — the same choice installFatTreeRoutes materialises
+// as flow entries).
+func (fb *fluidFabric) pathFor(srcG, dstG int, hops []traffic.Hop) []traffic.Hop {
+	half, perPod, ft, hosts := fb.half, fb.perPod, fb.ft, fb.hosts
+	sp, sl := srcG/perPod, srcG%perPod
+	dp, dl := dstG/perPod, dstG%perPod
+	se := sl / half
+	de, ds := dl/half, dl%half
+	jd, md := ds%half, dp%half
+
+	hops = append(hops, fb.hopOf(hosts[srcG], traffic.HostPort))
+	if sp == dp && se == de {
+		return append(hops, fb.hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
+	}
+	hops = append(hops, fb.hopOf(ft.Pods[sp].Edge[se], ft.EdgeUpPortOf(jd)))
+	if sp != dp {
+		cw := ft.Cores[jd*half+md]
+		hops = append(hops,
+			fb.hopOf(ft.Pods[sp].Agg[jd], ft.AggUpPortOf(md)),
+			fb.hopOf(cw, ft.CorePodPortOf(dp)))
+	}
+	return append(hops,
+		fb.hopOf(ft.Pods[dp].Agg[jd], ft.AggDownPortOf(de)),
+		fb.hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
+}
+
+// routeFor builds the node-name route srcG→dstG. Only monitored flows
+// need one: the combiner region shares no links with the fabric, so a
+// fabric-only route can never cross it, and at million-flow scale the
+// name slices would dominate the build.
+func (fb *fluidFabric) routeFor(srcG, dstG int) []string {
+	half, perPod, ft, hosts := fb.half, fb.perPod, fb.ft, fb.hosts
+	sp, sl := srcG/perPod, srcG%perPod
+	dp, dl := dstG/perPod, dstG%perPod
+	se := sl / half
+	de, ds := dl/half, dl%half
+	jd, md := ds%half, dp%half
+
+	route := []string{hosts[srcG].Name(), ft.Pods[sp].Edge[se].Name()}
+	if sp == dp && se == de {
+		return append(route, hosts[dstG].Name())
+	}
+	route = append(route, ft.Pods[sp].Agg[jd].Name())
+	if sp != dp {
+		cw := ft.Cores[jd*half+md]
+		route = append(route, cw.Name(), ft.Pods[dp].Agg[jd].Name())
+	}
+	return append(route, ft.Pods[dp].Edge[de].Name(), hosts[dstG].Name())
+}

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -13,7 +12,6 @@ import (
 	"netco/internal/netem"
 	"netco/internal/openflow"
 	"netco/internal/packet"
-	"netco/internal/pool"
 	"netco/internal/sim"
 	"netco/internal/switching"
 	"netco/internal/topo"
@@ -109,6 +107,46 @@ type HybridParams struct {
 	PromoteRho float64
 	// PromoteCap bounds congestion-triggered promotions (0 = no bound).
 	PromoteCap int
+	// DemoteRho, when > 0, demotes a congestion-promoted flow back to
+	// the fluid tier once its worst direction's utilisation falls below
+	// the threshold — the hysteresis loop closing PromoteRho. Pre-built
+	// expanders (monitored and SwapAt flows) are exempt; a demoted flow
+	// is promotion-eligible again and reuses its expander. Pick
+	// DemoteRho well below PromoteRho or flows will ping-pong.
+	DemoteRho float64
+	// DemoteAfter is the minimum promoted residence time before
+	// DemoteRho may demote a flow (default one epoch): the cooldown
+	// half of the hysteresis.
+	DemoteAfter time.Duration
+	// SettleWorkers parallelises the fluid allocator's per-component
+	// settle (see traffic.FluidConfig.SettleWorkers). Results are
+	// bit-identical at any worker count; 0 or 1 is serial.
+	SettleWorkers int
+	// FullResettle forces the allocator's full progressive-filling
+	// oracle on every settle — differential-test mode, never faster.
+	FullResettle bool
+
+	// Churn knobs (RunChurn / KindChurn only; RunHybrid ignores them).
+
+	// ChurnArrivals is the target flow arrival rate per simulated
+	// second. Flow lifetime is size/FlowDemand, so steady-state live
+	// flows ≈ ChurnArrivals × ChurnMeanBytes × 8 / FlowDemand.
+	ChurnArrivals float64
+	// ChurnMeanBytes is the mean flow size. Sizes mix exponential
+	// (mice) and Pareto α=1.5 (elephants) draws with this common mean.
+	ChurnMeanBytes float64
+	// ChurnParetoFrac is the fraction of flows drawn from the
+	// heavy-tailed Pareto component (0 = all exponential).
+	ChurnParetoFrac float64
+	// ChurnWaveEvery batches arrivals: one scheduler event per wave
+	// starts every flow due in the interval (default Epoch/4). Smaller
+	// waves smooth the arrival process; larger ones stress batching.
+	ChurnWaveEvery time.Duration
+	// ChurnCrossFrac is the fraction of churn flows routed cross-pod
+	// through the core. Cross-pod flows couple pod components into one
+	// allocator component, so keep this small when measuring parallel
+	// settle speedup (0 = all pod-local).
+	ChurnCrossFrac float64
 }
 
 // DefaultHybridParams returns the small configuration used by the
@@ -124,6 +162,10 @@ func DefaultHybridParams() HybridParams {
 		RegionRadius: 2,
 		SwapAt:       200 * time.Millisecond,
 		StartWaves:   4,
+
+		ChurnArrivals:   10_000,
+		ChurnMeanBytes:  40_000,
+		ChurnParetoFrac: 0.3,
 	}
 }
 
@@ -141,8 +183,10 @@ type HybridResult struct {
 	Promotions uint64 `json:"promotions"`
 	Demotions  uint64 `json:"demotions"`
 	// CongestionPromotions is the subset of Promotions triggered by the
-	// PromoteRho threshold rather than region crossing or SwapAt.
+	// PromoteRho threshold rather than region crossing or SwapAt;
+	// CongestionDemotions counts the DemoteRho hysteresis returns.
 	CongestionPromotions uint64 `json:"congestion_promotions,omitempty"`
+	CongestionDemotions  uint64 `json:"congestion_demotions,omitempty"`
 
 	// Build-time breakdown (wall clock, not simulated time): fabric
 	// switches + links, host builds + host links + region map, and flow
@@ -191,6 +235,7 @@ type hybridFlow struct {
 	exp      *traffic.UDPExpander // non-nil iff the flow can be promoted
 	route    []string             // monitored flows only; fabric-only routes never cross
 	crossing bool
+	congExp  bool // exp was built by the PromoteRho path, not pre-provisioned
 }
 
 // RunHybrid builds and runs one hybrid scenario. It is a pure function
@@ -244,116 +289,23 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 		agg.Attach(r)
 	}
 
-	// Fluid fabric: a full fat tree plus hosts. In hybrid mode the
-	// switches never see a packet — the fluid tier only accounts rates
-	// on the links — so no routing state is installed unless
-	// PacketFabric asks for the pure-packet baseline.
+	// Fluid fabric: a full fat tree plus hosts (shared with the churn
+	// engine — see fabric.go). In hybrid mode the switches never see a
+	// packet — the fluid tier only accounts rates on the links — so no
+	// routing state is installed unless PacketFabric asks for the
+	// pure-packet baseline.
 	arity := hp.Arity
-	half := arity / 2
-	perPod := half * half
-	topoStart := time.Now()
-	ft := topo.BuildFatTree(nw, topo.FatTreeParams{
-		Arity:           arity,
-		Link:            p.TrunkLink(),
-		SwitchProcDelay: p.SwitchProc,
-		SwitchProcQueue: p.SwitchQueue,
-		Workers:         p.Workers,
-	})
-	buildTopoMS := float64(time.Since(topoStart)) / float64(time.Millisecond)
-
-	// Hosts: built per pod (concurrently when Workers allows — NewHost
-	// touches only its own state), registered serially (the node map),
-	// then wired to their edge switches through a reserved link batch
-	// whose slot order equals the serial Connect order, keeping link
-	// ids — and same-instant tie-break bands — identical at any worker
-	// count.
-	wireStart := time.Now()
-	hosts := make([]*traffic.Host, arity*perPod)
-	hcfg := hostCfgOf(p)
-	pool.Map(context.Background(), buildWorkers(p.Workers), arity, func(pod int) (struct{}, error) {
-		for e := 0; e < half; e++ {
-			for s := 0; s < half; s++ {
-				g := pod*perPod + e*half + s
-				name := fmt.Sprintf("pod%d-h%d", pod, e*half+s)
-				hosts[g] = traffic.NewHost(sched, name, packet.HostMAC(uint32(1+g)), packet.HostIP(uint32(1+g)), hcfg)
-			}
-		}
-		return struct{}{}, nil
-	})
-	for _, h := range hosts {
-		nw.Add(h)
-	}
-	hostBatch := nw.ReserveLinks(len(hosts))
-	pool.Map(context.Background(), buildWorkers(p.Workers), arity, func(pod int) (struct{}, error) {
-		for e := 0; e < half; e++ {
-			for s := 0; s < half; s++ {
-				g := pod*perPod + e*half + s
-				hostBatch.Connect(g, hosts[g], traffic.HostPort, ft.Pods[pod].Edge[e], ft.EdgeHostPortOf(s), p.HostLink())
-			}
-		}
-		return struct{}{}, nil
-	})
+	fb := buildFluidFabric(sched, nw, p, arity)
+	ft, hosts := fb.ft, fb.hosts
+	perPod := fb.perPod
+	buildTopoMS := fb.topoMS
 	if hp.PacketFabric {
 		installFatTreeRoutes(ft, hosts)
 	}
 
+	regionStart := time.Now()
 	region := BuildRegionMap(nw, []string{"compare"}, hp.RegionRadius)
-	buildWireMS := float64(time.Since(wireStart)) / float64(time.Millisecond)
-
-	// hopOf resolves a transmitting (node, port) to a fluid Hop.
-	hopOf := func(n netem.Node, port int) traffic.Hop {
-		l, end := n.Ports().Ref(port)
-		return traffic.Hop{Link: l, End: end}
-	}
-	// pathFor appends the directed fluid path srcG→dstG to hops (a
-	// reused scratch buffer — NewFlow copies what it needs) along the
-	// deterministic fat-tree routing (agg by destination slot, core by
-	// destination pod — the same choice installFatTreeRoutes
-	// materialises as flow entries).
-	pathFor := func(srcG, dstG int, hops []traffic.Hop) []traffic.Hop {
-		sp, sl := srcG/perPod, srcG%perPod
-		dp, dl := dstG/perPod, dstG%perPod
-		se := sl / half
-		de, ds := dl/half, dl%half
-		jd, md := ds%half, dp%half
-
-		hops = append(hops, hopOf(hosts[srcG], traffic.HostPort))
-		if sp == dp && se == de {
-			return append(hops, hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
-		}
-		hops = append(hops, hopOf(ft.Pods[sp].Edge[se], ft.EdgeUpPortOf(jd)))
-		if sp != dp {
-			cw := ft.Cores[jd*half+md]
-			hops = append(hops,
-				hopOf(ft.Pods[sp].Agg[jd], ft.AggUpPortOf(md)),
-				hopOf(cw, ft.CorePodPortOf(dp)))
-		}
-		return append(hops,
-			hopOf(ft.Pods[dp].Agg[jd], ft.AggDownPortOf(de)),
-			hopOf(ft.Pods[dp].Edge[de], ft.EdgeHostPortOf(ds)))
-	}
-	// routeFor builds the node-name route srcG→dstG. Only monitored
-	// flows need one: the combiner region shares no links with the
-	// fabric, so a fabric-only route can never cross it, and at
-	// million-flow scale the name slices would dominate the build.
-	routeFor := func(srcG, dstG int) []string {
-		sp, sl := srcG/perPod, srcG%perPod
-		dp, dl := dstG/perPod, dstG%perPod
-		se := sl / half
-		de, ds := dl/half, dl%half
-		jd, md := ds%half, dp%half
-
-		route := []string{hosts[srcG].Name(), ft.Pods[sp].Edge[se].Name()}
-		if sp == dp && se == de {
-			return append(route, hosts[dstG].Name())
-		}
-		route = append(route, ft.Pods[sp].Agg[jd].Name())
-		if sp != dp {
-			cw := ft.Cores[jd*half+md]
-			route = append(route, cw.Name(), ft.Pods[dp].Agg[jd].Name())
-		}
-		return append(route, ft.Pods[dp].Edge[de].Name(), hosts[dstG].Name())
-	}
+	buildWireMS := fb.wireMS + float64(time.Since(regionStart))/float64(time.Millisecond)
 
 	total := len(hosts) * hp.FlowsPerHost
 	if hp.CrossFlows > total {
@@ -368,30 +320,48 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 	}
 
 	flows := make([]*hybridFlow, total)
-	var promotions, demotions, congPromotions uint64
+	var promotions, demotions, congPromotions, congDemotions uint64
 	congSlots := 0
-	fcfg := traffic.FluidConfig{Epoch: hp.Epoch}
+	fcfg := traffic.FluidConfig{Epoch: hp.Epoch, SettleWorkers: hp.SettleWorkers, FullResettle: hp.FullResettle}
 	if hp.PromoteRho > 0 && !hp.PacketFabric {
 		fcfg.CongestionRho = hp.PromoteRho
 		fcfg.OnCongested = func(f *traffic.FluidFlow, _ float64) {
-			if hp.PromoteCap > 0 && congSlots >= hp.PromoteCap {
-				return
-			}
 			// In hybrid mode every flow registers with the allocator in
 			// index order, so the fluid id is the hybridFlow index.
 			hf := flows[f.ID()]
-			if hf.exp != nil {
+			if hf.exp != nil && !hf.congExp {
 				return // pre-built expanders are reserved for SwapAt
 			}
-			slot := congSlots
-			congSlots++
-			src := traffic.NewUDPSource(gw0, uint16(10000+slot), gw1.Endpoint(uint16(40000+slot)),
-				traffic.UDPSourceConfig{PayloadSize: hybridPayload})
-			sink := traffic.NewUDPSink(gw1, uint16(40000+slot))
-			hf.exp = traffic.NewUDPExpander(src, sink)
+			if hf.exp == nil {
+				// First promotion builds the expander; a hysteresis-demoted
+				// flow re-promotes through its existing one, so PromoteCap
+				// bounds distinct expanders, not promotion events.
+				if hp.PromoteCap > 0 && congSlots >= hp.PromoteCap {
+					return
+				}
+				slot := congSlots
+				congSlots++
+				src := traffic.NewUDPSource(gw0, uint16(10000+slot), gw1.Endpoint(uint16(40000+slot)),
+					traffic.UDPSourceConfig{PayloadSize: hybridPayload})
+				sink := traffic.NewUDPSink(gw1, uint16(40000+slot))
+				hf.exp = traffic.NewUDPExpander(src, sink)
+				hf.congExp = true
+			}
 			f.Promote(hf.exp)
 			promotions++
 			congPromotions++
+		}
+		if hp.DemoteRho > 0 {
+			fcfg.DemoteRho = hp.DemoteRho
+			fcfg.DemoteAfter = hp.DemoteAfter
+			fcfg.OnUncongested = func(f *traffic.FluidFlow, _ float64) {
+				if hf := flows[f.ID()]; !hf.congExp {
+					return // only the PromoteRho set participates in hysteresis
+				}
+				f.Demote()
+				demotions++
+				congDemotions++
+			}
 		}
 	}
 	fn := traffic.NewFluidNet(sched, fcfg)
@@ -407,13 +377,13 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 			dstG := dp*perPod + (sl+k)%perPod
 			hf := &hfArena[i]
 			hf.idx, hf.srcG, hf.dstG = i, g, dstG
-			hopsBuf = pathFor(g, dstG, hopsBuf[:0])
+			hopsBuf = fb.pathFor(g, dstG, hopsBuf[:0])
 			// Flows 0..CrossFlows-1 are monitored: their traffic is
 			// steered through the combiner, so the region map marks
 			// them for promotion. Flows CrossFlows..CrossFlows+swapN-1
 			// get expanders too, but enter the region only at SwapAt.
 			if i < hp.CrossFlows {
-				hf.route = append(routeFor(g, dstG), "gw0", "s1", "compare", "s2", "gw1")
+				hf.route = append(fb.routeFor(g, dstG), "gw0", "s1", "compare", "s2", "gw1")
 				hf.crossing = region.Crosses(hf.route)
 			}
 			if hf.crossing || (swapN > 0 && i >= hp.CrossFlows && i < hp.CrossFlows+swapN) {
@@ -582,11 +552,10 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 		ratio = projected / float64(events)
 	}
 
-	nSwitches := half*half + arity*arity // cores + per-pod (agg+edge)
 	return HybridResult{
 		Arity:                   arity,
 		Hosts:                   len(hosts),
-		Switches:                nSwitches,
+		Switches:                fb.switches(),
 		Flows:                   total,
 		CrossFlows:              hp.CrossFlows,
 		RegionNodes:             region.Size(),
@@ -595,6 +564,7 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 		Promotions:              promotions,
 		Demotions:               demotions,
 		CongestionPromotions:    congPromotions,
+		CongestionDemotions:     congDemotions,
 		BuildTopoMS:             buildTopoMS,
 		BuildWireMS:             buildWireMS,
 		BuildFlowsMS:            buildFlowsMS,

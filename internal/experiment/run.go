@@ -41,10 +41,16 @@ const (
 	// (loss models, corruption, duplication, reordering) on every trunk
 	// — the goodput-surface unit for impairment grids (see RunImpair).
 	KindImpair
+	// KindChurn runs the flow-lifecycle churn engine: an open
+	// arrival/departure workload over a fat-tree fluid fabric,
+	// measuring lifecycle throughput with arena recycling, parallel
+	// settle and wheel-timed departures (see RunChurn). Serial by
+	// construction like KindHybrid; the scenario only labels the run.
+	KindChurn
 )
 
 // AllKinds lists every schedulable kind.
-var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter, KindHybrid, KindChaos, KindImpair}
+var AllKinds = []Kind{KindTCP, KindUDP, KindPing, KindJitter, KindHybrid, KindChaos, KindImpair, KindChurn}
 
 // String names the kind for CLIs and artifacts.
 func (k Kind) String() string {
@@ -63,6 +69,8 @@ func (k Kind) String() string {
 		return "chaos"
 	case KindImpair:
 		return "impair"
+	case KindChurn:
+		return "churn"
 	}
 	return "unknown"
 }
@@ -74,7 +82,7 @@ func ParseKind(name string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping, jitter, hybrid, chaos or impair)", name)
+	return 0, fmt.Errorf("experiment: unknown kind %q (want tcp, udp, ping, jitter, hybrid, chaos, impair or churn)", name)
 }
 
 // ParseScenario resolves a paper scenario name (case-insensitive).
@@ -223,6 +231,23 @@ func Run(k Kind, p Params, s Scenario, seed int64) Result {
 			res.setMetric("impair_duplicated", float64(cr.Impair.Duplicated))
 			res.setMetric("impair_reordered", float64(cr.Impair.Reordered))
 		}
+	case KindChurn:
+		hp := DefaultHybridParams()
+		hp.Duration = p.UDPDuration
+		cr := RunChurn(p, hp)
+		res.setMetric("churn_arrivals", float64(cr.Arrivals))
+		res.setMetric("churn_departures", float64(cr.Departures))
+		res.setMetric("churn_peak_live", float64(cr.PeakLive))
+		res.setMetric("churn_recycled", float64(cr.Recycled))
+		res.setMetric("churn_settles", float64(cr.Settles))
+		res.setMetric("churn_components_solved", float64(cr.ComponentsSolved))
+		res.setMetric("churn_wheel_expired", float64(cr.WheelExpired))
+		res.setMetric("arrivals_per_sim_s", cr.ArrivalsPerSimSec)
+		res.setMetric("lifecycle_events_per_sim_s", cr.LifecycleEventsPerSimSec)
+		res.setMetric("churn_goodput_mbps", cr.DeliveredBits/hp.Duration.Seconds()/1e6)
+		var rate metrics.Summary
+		rate.Add(cr.LifecycleEventsPerSimSec)
+		res.addSummary("lifecycle_events_per_sim_s", rate)
 	case KindImpair:
 		ir := RunImpair(p, s)
 		res.setMetric("impair_sent", float64(ir.Sent))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -55,4 +56,77 @@ func TestMapZeroItems(t *testing.T) {
 	if len(got) != 0 || len(errs) != 0 {
 		t.Fatalf("zero-item map returned %v %v", got, errs)
 	}
+}
+
+// TestMapNegativeWorkers pins the workers<=0 contract: any
+// non-positive count falls back to GOMAXPROCS rather than deadlocking
+// with zero workers or panicking on a negative wg.Add.
+func TestMapNegativeWorkers(t *testing.T) {
+	for _, workers := range []int{-1, -100} {
+		got, errs := Map(context.Background(), workers, 7, func(i int) (int, error) {
+			return i + 1, nil
+		})
+		for i := 0; i < 7; i++ {
+			if errs[i] != nil || got[i] != i+1 {
+				t.Fatalf("workers=%d: result[%d] = %d, err %v", workers, i, got[i], errs[i])
+			}
+		}
+	}
+}
+
+// TestMapPanicOrdering scatters panics through a batch wider than the
+// worker count: every panicking index gets its own *PanicError (with
+// the stack captured but kept out of Error(), whose text must stay
+// address-free for reproducible artifacts), and every healthy index
+// keeps its in-order result.
+func TestMapPanicOrdering(t *testing.T) {
+	const n = 64
+	got, errs := Map(context.Background(), 4, n, func(i int) (int, error) {
+		if i%3 == 0 {
+			panic(i)
+		}
+		return i * 10, nil
+	})
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			var pe *PanicError
+			if !errors.As(errs[i], &pe) {
+				t.Fatalf("errs[%d] = %v, want *PanicError", i, errs[i])
+			}
+			if pe.Value != i {
+				t.Fatalf("errs[%d] carries panic value %v, want %d (slot confusion)", i, pe.Value, i)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatalf("errs[%d]: stack not captured", i)
+			}
+			if strings.Contains(pe.Error(), "0x") {
+				t.Fatalf("errs[%d]: Error() leaks addresses: %q", i, pe.Error())
+			}
+		} else if errs[i] != nil || got[i] != i*10 {
+			t.Fatalf("healthy slot %d disturbed: %d, %v", i, got[i], errs[i])
+		}
+	}
+}
+
+// TestMapConcurrent drives many Maps from many goroutines at once —
+// the race-detector leg for the shared fan-out used by parallel settle
+// and topology builds (go test -race ./internal/pool/).
+func TestMapConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, errs := Map(context.Background(), 4, 100, func(i int) (int, error) {
+				return g*1000 + i, nil
+			})
+			for i := 0; i < 100; i++ {
+				if errs[i] != nil || got[i] != g*1000+i {
+					t.Errorf("goroutine %d: result[%d] = %d, err %v", g, i, got[i], errs[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

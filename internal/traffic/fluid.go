@@ -1,11 +1,13 @@
 package traffic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"netco/internal/netem"
+	"netco/internal/pool"
 	"netco/internal/sim"
 )
 
@@ -81,6 +83,28 @@ type FluidConfig struct {
 	// so a callback may promote the flow immediately.
 	CongestionRho float64
 	OnCongested   func(f *FluidFlow, rho float64)
+
+	// DemoteRho, when > 0, is the hysteresis lower threshold for
+	// congestion-promoted flows: after a settle, every promoted flow in
+	// a touched component whose worst direction utilisation has fallen
+	// below DemoteRho — and that has been promoted for at least
+	// DemoteAfter — gets an OnUncongested callback (which typically
+	// calls Demote). Evaluated only when the flow's component is
+	// re-solved: an untouched component's utilisations have not
+	// changed, so no new demotion evidence exists for it. Callbacks
+	// fire after OnCongested ones, in component order.
+	DemoteRho     float64
+	DemoteAfter   time.Duration
+	OnUncongested func(f *FluidFlow, rho float64)
+
+	// SettleWorkers fans the per-component progressive-filling solves
+	// of one settle across a worker pool. Components are independent by
+	// construction (they partition the flow/direction graph), component
+	// discovery and result publication stay serial in deterministic
+	// seed order, and the per-component arithmetic is untouched — so
+	// allocations are bit-identical at every worker count, which the
+	// differential tests pin. <= 1 solves serially on the caller.
+	SettleWorkers int
 }
 
 // fluidDir is the allocator's per-(link, direction) state.
@@ -134,22 +158,46 @@ type FluidNet struct {
 	dirtyDirs  []*fluidDir
 
 	// Settle scratch, reused across passes so the steady-state settle
-	// path allocates nothing.
-	compFlows []*FluidFlow
-	compDirs  []*fluidDir
-	congested []congEvent
-	seeds     []*FluidFlow // full-mode snapshot of flows (delisting-safe)
-	gen       int
+	// path allocates nothing. comps[:ncomps] holds this settle's
+	// discovered components; entries keep their slice capacity across
+	// settles.
+	comps       []fluidComp
+	ncomps      int
+	congested   []congEvent
+	uncongested []congEvent
+	seeds       []*FluidFlow // full-mode snapshot of flows (delisting-safe)
+	retired     []*FluidFlow // delisted flows awaiting recycle this settle
+	gen         int
 
-	full    bool
-	congRho float64
-	onCong  func(f *FluidFlow, rho float64)
+	// Flow arena: Release'd flows are recycled through this free list
+	// once their final settle has delisted them, so steady-state churn
+	// (NewFlow/Start/.../Stop/Release) allocates no flow objects.
+	freeFlows   []*FluidFlow
+	recycled    uint64
+	retiredBits float64
 
-	dirty     bool
-	armed     bool
-	timer     sim.Timer
-	onEpochFn func()
-	settles   uint64
+	full        bool
+	congRho     float64
+	onCong      func(f *FluidFlow, rho float64)
+	demoteRho   float64
+	demoteAfter time.Duration
+	onUncong    func(f *FluidFlow, rho float64)
+	workers     int
+
+	dirty      bool
+	armed      bool
+	timer      sim.Timer
+	onEpochFn  func()
+	settles    uint64
+	compSolves uint64
+}
+
+// fluidComp is one connected component of the flow/direction graph
+// discovered by a settle: the active flows to allocate and the
+// directions constraining them. Slices are recycled across settles.
+type fluidComp struct {
+	flows []*FluidFlow
+	dirs  []*fluidDir
 }
 
 // congEvent is one pending OnCongested callback.
@@ -164,12 +212,16 @@ func NewFluidNet(sched *sim.Scheduler, cfg FluidConfig) *FluidNet {
 		cfg.Epoch = 10 * time.Millisecond
 	}
 	fn := &FluidNet{
-		sched:   sched,
-		epoch:   cfg.Epoch,
-		dirOf:   make(map[dirKey]*fluidDir),
-		full:    cfg.FullResettle,
-		congRho: cfg.CongestionRho,
-		onCong:  cfg.OnCongested,
+		sched:       sched,
+		epoch:       cfg.Epoch,
+		dirOf:       make(map[dirKey]*fluidDir),
+		full:        cfg.FullResettle,
+		congRho:     cfg.CongestionRho,
+		onCong:      cfg.OnCongested,
+		demoteRho:   cfg.DemoteRho,
+		demoteAfter: cfg.DemoteAfter,
+		onUncong:    cfg.OnUncongested,
+		workers:     cfg.SettleWorkers,
 	}
 	fn.onEpochFn = fn.onEpoch // bound once; arming a timer allocates nothing
 	return fn
@@ -186,6 +238,18 @@ func (fn *FluidNet) Settles() uint64 { return fn.settles }
 // awaiting their final settle).
 func (fn *FluidNet) Flows() int { return len(fn.flows) }
 
+// Recycled returns how many NewFlow calls were served from the free
+// list instead of allocating — the churn engine's recycle counter.
+func (fn *FluidNet) Recycled() uint64 { return fn.recycled }
+
+// RetiredBits returns the cumulative delivered bits folded in from
+// Release'd flows, so whole-run accounting survives flow recycling.
+func (fn *FluidNet) RetiredBits() float64 { return fn.retiredBits }
+
+// ComponentsSolved returns the cumulative number of per-component
+// progressive-filling solves across all settles.
+func (fn *FluidNet) ComponentsSolved() uint64 { return fn.compSolves }
+
 // Close cancels any pending epoch timer. Loads already pushed to links
 // stay as they are; call after the measurement window closes.
 func (fn *FluidNet) Close() {
@@ -197,28 +261,60 @@ func (fn *FluidNet) Close() {
 // NewFlow registers a rate process with the given demand (bits/s) and
 // directed path. The flow is idle until Start. Demand is clamped to
 // finite non-negative; a nil link in the path panics (construction
-// bug).
+// bug). Flow objects come from the Release free list when one is
+// available, so steady-state churn allocates nothing (path slices are
+// reused when capacity suffices).
 func (fn *FluidNet) NewFlow(demand float64, path []Hop) *FluidFlow {
 	if math.IsNaN(demand) || math.IsInf(demand, 0) || demand < 0 {
 		demand = 0
 	}
-	f := &FluidFlow{
-		net:    fn,
-		id:     fn.nextID,
-		demand: demand,
+	var f *FluidFlow
+	if n := len(fn.freeFlows); n > 0 {
+		f = fn.freeFlows[n-1]
+		fn.freeFlows[n-1] = nil
+		fn.freeFlows = fn.freeFlows[:n-1]
+		fn.recycled++
+		f.id = fn.nextID
+		f.demand = demand
+	} else {
+		f = &FluidFlow{net: fn, id: fn.nextID, demand: demand}
 	}
 	fn.nextID++
 	if len(path) > 0 {
-		f.dirs = make([]*fluidDir, len(path))
+		if cap(f.dirs) >= len(path) {
+			f.dirs = f.dirs[:len(path)]
+			f.posInDir = f.posInDir[:len(path)]
+		} else {
+			f.dirs = make([]*fluidDir, len(path))
+			f.posInDir = make([]int, len(path))
+		}
 		for i, h := range path {
 			if h.Link == nil {
 				panic(fmt.Sprintf("traffic: fluid flow %d hop %d has nil link", f.id, i))
 			}
 			f.dirs[i] = fn.dirFor(h)
 		}
-		f.posInDir = make([]int, len(path))
 	}
 	return f
+}
+
+// recycle resets a fully-delisted Release'd flow and returns it to the
+// free list, folding its delivered bits into the retired total.
+func (fn *FluidNet) recycle(f *FluidFlow) {
+	fn.retiredBits += f.accrued
+	f.id = -1
+	f.demand = 0
+	f.dirs = f.dirs[:0]
+	f.posInDir = f.posInDir[:0]
+	f.rate = 0
+	f.frozen = false
+	f.released = false
+	f.accrued = 0
+	f.lastAccrual = 0
+	f.exp = nil
+	f.expBase = 0
+	f.promotedAt = 0
+	fn.freeFlows = append(fn.freeFlows, f)
 }
 
 func (fn *FluidNet) dirFor(h Hop) *fluidDir {
@@ -326,31 +422,47 @@ func (fn *FluidNet) onEpoch() {
 // every settle a from-scratch solve of every component through the
 // identical code path — the oracle the incremental mode is compared
 // against bit for bit.
+// The settle is a three-phase pass so the per-component solves can fan
+// across workers without giving up bit-identity:
+//
+//	discover (serial) — BFS each dirty seed's component, accrue touched
+//	  flows at their old rates, delist stopped flows; mutates shared
+//	  state (generation marks, the flow list) so it stays on the caller.
+//	fill (parallel) — progressive filling per component. Touches only
+//	  component-local state (flow rates, direction loads); components
+//	  partition the graph, so solves are independent and the arithmetic
+//	  is identical at every worker count.
+//	publish (serial, component order) — push loads into the packet
+//	  tier, retarget promoted expanders, collect congestion/demotion
+//	  candidates; ordering-sensitive (scheduler, callbacks), so it runs
+//	  in deterministic discovery order.
 func (fn *FluidNet) settle() {
 	fn.dirty = false
 	now := fn.sched.Now()
 	fn.gen++
+	fn.ncomps = 0
 
 	fn.congested = fn.congested[:0]
+	fn.uncongested = fn.uncongested[:0]
 	if fn.full {
-		// Seed everything. Still one solve per component: solveComponent
+		// Seed everything. Still one solve per component: discovery
 		// skips seeds already swept into an earlier component this
 		// generation, so full mode differs from incremental mode only in
 		// which components it visits, never in how it solves one. The
-		// flow list is snapshotted because solves delist stopped flows
-		// by swap-removal; a snapshot entry delisted early is marked, so
-		// the generation check skips it.
+		// flow list is snapshotted because discovery delists stopped
+		// flows by swap-removal; a snapshot entry delisted early is
+		// marked, so the generation check skips it.
 		fn.seeds = append(fn.seeds[:0], fn.flows...)
 		for i, f := range fn.seeds {
 			fn.seeds[i] = nil
 			if f.mark != fn.gen {
-				fn.solveComponent(f, nil, now)
+				fn.discoverComponent(f, nil, now)
 			}
 		}
 		fn.seeds = fn.seeds[:0]
 		for _, d := range fn.dirs {
 			if d.mark != fn.gen {
-				fn.solveComponent(nil, d, now)
+				fn.discoverComponent(nil, d, now)
 			}
 		}
 		// Event-order seeds may include flows delisted above; their
@@ -368,40 +480,95 @@ func (fn *FluidNet) settle() {
 			f.dirtyMk = false
 			fn.dirtyFlows[i] = nil
 			if f.mark != fn.gen {
-				fn.solveComponent(f, nil, now)
+				fn.discoverComponent(f, nil, now)
 			}
 		}
 		for i, d := range fn.dirtyDirs {
 			d.dirty = false
 			fn.dirtyDirs[i] = nil
 			if d.mark != fn.gen {
-				fn.solveComponent(nil, d, now)
+				fn.discoverComponent(nil, d, now)
 			}
 		}
 	}
 	fn.dirtyFlows = fn.dirtyFlows[:0]
 	fn.dirtyDirs = fn.dirtyDirs[:0]
+
+	// Solve. The parallel path is taken only when there is real fan-out
+	// to win; either way the per-component arithmetic is the same code.
+	if fn.workers > 1 && fn.ncomps > 1 {
+		_, errs := pool.Map(context.Background(), fn.workers, fn.ncomps,
+			func(i int) (struct{}, error) {
+				fillComponent(&fn.comps[i])
+				return struct{}{}, nil
+			})
+		for _, err := range errs {
+			if err != nil {
+				panic(err) // PanicError from a solve: surface, don't swallow
+			}
+		}
+	} else {
+		for i := 0; i < fn.ncomps; i++ {
+			fillComponent(&fn.comps[i])
+		}
+	}
+	fn.compSolves += uint64(fn.ncomps)
+
+	for i := 0; i < fn.ncomps; i++ {
+		fn.publishComponent(&fn.comps[i], now)
+	}
 	fn.settles++
 
 	// Congestion callbacks fire last, after every component's loads are
 	// pushed, so a callback sees a consistent network and may promote.
+	// Demotion (hysteresis) callbacks follow.
 	for i := range fn.congested {
 		ev := fn.congested[i]
 		fn.congested[i] = congEvent{}
 		fn.onCong(ev.f, ev.rho)
 	}
 	fn.congested = fn.congested[:0]
+	for i := range fn.uncongested {
+		ev := fn.uncongested[i]
+		fn.uncongested[i] = congEvent{}
+		fn.onUncong(ev.f, ev.rho)
+	}
+	fn.uncongested = fn.uncongested[:0]
+
+	// Recycle Release'd flows whose final settle just delisted them.
+	// Deferred to the very end so no seed list, component slice or
+	// callback can observe a reset flow.
+	for i, f := range fn.retired {
+		fn.retired[i] = nil
+		fn.recycle(f)
+	}
+	fn.retired = fn.retired[:0]
 }
 
-// solveComponent BFS-discovers the connected component containing the
-// seed (a flow or a direction), re-runs progressive filling over it
-// from scratch, pushes the resulting loads into the packet tier and
-// retargets promoted flows' expanders. Stopped flows found along the
-// way are accrued and delisted. Visited nodes are stamped with the
-// settle generation so overlapping seeds coalesce into one solve.
-func (fn *FluidNet) solveComponent(seedF *FluidFlow, seedD *fluidDir, now time.Duration) {
-	flows := fn.compFlows[:0]
-	dirs := fn.compDirs[:0]
+// grabComp returns the next recycled component slot for this settle.
+func (fn *FluidNet) grabComp() *fluidComp {
+	if fn.ncomps == len(fn.comps) {
+		fn.comps = append(fn.comps, fluidComp{})
+	}
+	c := &fn.comps[fn.ncomps]
+	fn.ncomps++
+	c.flows = c.flows[:0]
+	c.dirs = c.dirs[:0]
+	return c
+}
+
+// discoverComponent BFS-discovers the connected component containing
+// the seed (a flow or a direction) into a recycled component slot,
+// accrues every touched flow to now at its old rate before anything
+// changes, and delists flows that have fully stopped (queueing
+// Release'd ones for recycling). Visited nodes are stamped with the
+// settle generation so overlapping seeds coalesce into one component.
+// (Untouched flows need no accrual: their rate is constant, so the
+// lazy accrue at next touch integrates the same total.)
+func (fn *FluidNet) discoverComponent(seedF *FluidFlow, seedD *fluidDir, now time.Duration) {
+	c := fn.grabComp()
+	flows := c.flows
+	dirs := c.dirs
 	if seedF != nil {
 		seedF.mark = fn.gen
 		flows = append(flows, seedF)
@@ -429,28 +596,38 @@ func (fn *FluidNet) solveComponent(seedF *FluidFlow, seedD *fluidDir, now time.D
 		}
 	}
 
-	// Accrue every touched flow to now at its old rate before changing
-	// anything, and delist flows that have fully stopped. (Untouched
-	// flows need no accrual: their rate is constant, so the lazy accrue
-	// at next touch integrates the same total.)
 	act := flows[:0]
 	for _, f := range flows {
 		f.accrue(now)
 		if f.active {
 			act = append(act, f)
-		} else if f.listed {
-			fn.unlist(f)
+		} else {
+			if f.listed {
+				fn.unlist(f)
+			}
+			if f.released {
+				fn.retired = append(fn.retired, f)
+			}
 		}
 	}
+	c.flows = act
+	c.dirs = dirs
+}
 
-	// Progressive filling over the component: all unfrozen flows' rates
-	// rise in lockstep until a flow hits its demand or a direction
-	// saturates; affected flows freeze and the filling continues among
-	// the rest. Each round freezes at least one flow, so the solve
-	// terminates in at most len(act) rounds (uniform demands collapse
-	// to one or two). Every arithmetic step is a min-reduction or a
-	// per-entity update, so the result does not depend on the BFS visit
-	// order — only on the component's membership, which is unique.
+// fillComponent runs progressive filling over one component: all
+// unfrozen flows' rates rise in lockstep until a flow hits its demand
+// or a direction saturates; affected flows freeze and the filling
+// continues among the rest. Each round freezes at least one flow, so
+// the solve terminates in at most len(flows) rounds (uniform demands
+// collapse to one or two). Every arithmetic step is a min-reduction or
+// a per-entity update, so the result does not depend on the BFS visit
+// order — only on the component's membership, which is unique. It
+// touches nothing outside the component (no FluidNet state), which is
+// what makes the parallel settle race-free and bit-identical to
+// serial.
+func fillComponent(c *fluidComp) {
+	act := c.flows
+	dirs := c.dirs
 	for _, d := range dirs {
 		d.load, d.unfrozen, d.sat = 0, 0, false
 	}
@@ -528,9 +705,16 @@ func (fn *FluidNet) solveComponent(seedF *FluidFlow, seedD *fluidDir, now time.D
 			}
 		}
 	}
+}
 
-	// Push the component's aggregate loads into the packet tier and
-	// retarget any promoted flows' expanders.
+// publishComponent pushes one solved component's aggregate loads into
+// the packet tier, retargets promoted flows' expanders, and collects
+// congestion-promotion and hysteresis-demotion candidates. Runs
+// serially in component-discovery order: everything here is
+// ordering-sensitive (scheduler interactions, callback order).
+func (fn *FluidNet) publishComponent(c *fluidComp, now time.Duration) {
+	act := c.flows
+	dirs := c.dirs
 	for _, d := range dirs {
 		d.link.SetFluidLoad(d.end, d.load)
 	}
@@ -540,9 +724,9 @@ func (fn *FluidNet) solveComponent(seedF *FluidFlow, seedD *fluidDir, now time.D
 		}
 	}
 
-	// Collect congestion-promotion candidates: active unpromoted flows
-	// crossing a direction at or above the utilisation threshold, each
-	// at most once per settle (the congestion stamp), tagged with the
+	// Congestion-promotion candidates: active unpromoted flows crossing
+	// a direction at or above the utilisation threshold, each at most
+	// once per settle (the congestion stamp), tagged with the
 	// triggering direction's utilisation.
 	if fn.onCong != nil && fn.congRho > 0 {
 		for _, d := range dirs {
@@ -564,9 +748,28 @@ func (fn *FluidNet) solveComponent(seedF *FluidFlow, seedD *fluidDir, now time.D
 		}
 	}
 
-	// Hand the (possibly grown) scratch back for the next component.
-	fn.compFlows = flows[:0]
-	fn.compDirs = dirs[:0]
+	// Hysteresis-demotion candidates: promoted flows whose worst
+	// direction utilisation has dropped below the lower threshold and
+	// whose cooldown has elapsed.
+	if fn.onUncong != nil && fn.demoteRho > 0 {
+		for _, f := range act {
+			if f.exp == nil || now-f.promotedAt < fn.demoteAfter {
+				continue
+			}
+			worst := 0.0
+			for _, d := range f.dirs {
+				if d.cap <= 0 {
+					continue
+				}
+				if rho := d.load / d.cap; rho > worst {
+					worst = rho
+				}
+			}
+			if worst < fn.demoteRho {
+				fn.uncongested = append(fn.uncongested, congEvent{f: f, rho: worst})
+			}
+		}
+	}
 }
 
 // FluidFlow is a rate process managed by a FluidNet. It satisfies Flow.
@@ -587,6 +790,7 @@ type FluidFlow struct {
 	active   bool
 	listed   bool // in the allocator's flow + per-direction lists
 	dirtyMk  bool // queued in dirtyFlows for the next settle
+	released bool // recycled into the free list once delisted
 	mark     int  // settle generation last visited (component BFS)
 	congMark int  // settle generation OnCongested last fired
 
@@ -595,8 +799,9 @@ type FluidFlow struct {
 	accrued     float64
 	lastAccrual time.Duration
 
-	exp     Expander
-	expBase uint64
+	exp        Expander
+	expBase    uint64
+	promotedAt time.Duration // virtual time of Promote (hysteresis cooldown)
 }
 
 // ID returns the flow's creation index (the allocator's iteration
@@ -648,6 +853,30 @@ func (f *FluidFlow) Stop() {
 	f.net.markDirty()
 }
 
+// Release hands the flow back to the allocator's free list once it is
+// fully retired: an active flow is stopped first and recycled at the
+// settle that delists it; an already-stopped listed flow is recycled
+// at its pending settle; a never-listed flow is recycled immediately.
+// The flow's delivered bits are folded into FluidNet.RetiredBits. The
+// caller must drop every reference — the object will be reused by a
+// future NewFlow.
+func (f *FluidFlow) Release() {
+	if f.released {
+		return
+	}
+	f.released = true
+	if f.active {
+		f.Stop()
+		return
+	}
+	if f.listed || f.dirtyMk {
+		// Stopped but still listed: its final settle (already queued by
+		// Stop) will delist and recycle it.
+		return
+	}
+	f.net.recycle(f)
+}
+
 // SetDemand retargets the flow's offered load (bits/s, clamped to
 // finite non-negative). An active flow's links re-settle at the next
 // epoch boundary.
@@ -674,9 +903,11 @@ func (f *FluidFlow) Promote(exp Expander) {
 	if f.exp != nil {
 		panic(fmt.Sprintf("traffic: fluid flow %d promoted twice", f.id))
 	}
-	f.accrue(f.net.sched.Now())
+	now := f.net.sched.Now()
+	f.accrue(now)
 	f.exp = exp
 	f.expBase = exp.DeliveredBytes()
+	f.promotedAt = now
 	exp.SetRate(f.rate)
 	exp.Start()
 }

@@ -46,11 +46,11 @@ func genFluidScript(seed int64, epochs, opsPerEpoch, nf, nl int) []fluidOp {
 // load observed just before each epoch boundary. The chain's links are
 // shared by overlapping sub-paths, so the script continually splits and
 // merges allocator components.
-func runFluidScript(t *testing.T, ops []fluidOp, caps []float64, nf int, full bool) []uint64 {
+func runFluidScript(t *testing.T, ops []fluidOp, caps []float64, nf int, full bool, workers int) []uint64 {
 	t.Helper()
 	sched, links := fluidRig(t, caps)
 	epoch := 10 * time.Millisecond
-	fn := NewFluidNet(sched, FluidConfig{Epoch: epoch, FullResettle: full})
+	fn := NewFluidNet(sched, FluidConfig{Epoch: epoch, FullResettle: full, SettleWorkers: workers})
 
 	// Flow i runs the sub-chain [i%len, i%len+1+i%3] clipped to the
 	// chain — short overlapping paths, many sharing each link.
@@ -121,8 +121,8 @@ func TestFluidIncrementalMatchesFullResettle(t *testing.T) {
 	const nf = 24
 	for seed := int64(1); seed <= 4; seed++ {
 		ops := genFluidScript(seed, 20, 4, nf, len(caps))
-		fullSig := runFluidScript(t, ops, caps, nf, true)
-		incSig := runFluidScript(t, ops, caps, nf, false)
+		fullSig := runFluidScript(t, ops, caps, nf, true, 1)
+		incSig := runFluidScript(t, ops, caps, nf, false, 1)
 		if len(fullSig) != len(incSig) {
 			t.Fatalf("seed %d: signature lengths differ: %d vs %d", seed, len(fullSig), len(incSig))
 		}
@@ -130,6 +130,35 @@ func TestFluidIncrementalMatchesFullResettle(t *testing.T) {
 			if fullSig[i] != incSig[i] {
 				t.Fatalf("seed %d: sample %d diverged: full %x vs incremental %x",
 					seed, i, fullSig[i], incSig[i])
+			}
+		}
+	}
+}
+
+// TestFluidParallelSettleMatchesSerial pins the parallel per-component
+// settle bit-equal to serial — and, transitively through the test
+// above, to the FullResettle oracle — at every worker count, in both
+// incremental and full mode. Fill is pure component-local arithmetic
+// and discovery/publish stay serial, so nothing may diverge.
+func TestFluidParallelSettleMatchesSerial(t *testing.T) {
+	caps := []float64{7e6, 11e6, 5e6, 9e6, 13e6, 6e6}
+	const nf = 24
+	for seed := int64(1); seed <= 3; seed++ {
+		ops := genFluidScript(seed, 20, 4, nf, len(caps))
+		for _, full := range []bool{false, true} {
+			want := runFluidScript(t, ops, caps, nf, full, 1)
+			for _, workers := range []int{2, 4, 8} {
+				got := runFluidScript(t, ops, caps, nf, full, workers)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d full=%v workers=%d: signature lengths differ: %d vs %d",
+						seed, full, workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d full=%v workers=%d: sample %d diverged: %x vs serial %x",
+							seed, full, workers, i, got[i], want[i])
+					}
+				}
 			}
 		}
 	}

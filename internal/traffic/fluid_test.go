@@ -13,7 +13,7 @@ import (
 // fluidRig builds a scheduler, network, and n hosts wired as a chain
 // h0-h1-...-h(n-1) with the given per-link capacities (len(caps) = n-1).
 // Returns the chain's links in order.
-func fluidRig(t *testing.T, caps []float64) (*sim.Scheduler, []*netem.Link) {
+func fluidRig(t testing.TB, caps []float64) (*sim.Scheduler, []*netem.Link) {
 	t.Helper()
 	sched := sim.NewScheduler()
 	nw := netem.New(sched)

@@ -434,6 +434,18 @@ func RunHybrid(p Params, hp HybridParams) HybridResult {
 	return experiment.RunHybrid(p, hp)
 }
 
+// ChurnResult is one churn-engine run's outcome.
+type ChurnResult = experiment.ChurnResult
+
+// RunChurn drives an open flow arrival/departure workload over a
+// fat-tree fluid fabric: arena-recycled flow records, wheel-timed
+// departures and parallel per-component settles, deterministic at any
+// SettleWorkers count (HybridParams.Churn* fields size the workload).
+// The engine behind BENCH_10.json.
+func RunChurn(p Params, hp HybridParams) ChurnResult {
+	return experiment.RunChurn(p, hp)
+}
+
 // Parallel sweeps (cmd/netco-sweep is the CLI over these).
 type (
 	// ExperimentKind selects a schedulable experiment unit; Run executes
@@ -458,6 +470,7 @@ const (
 	ExperimentHybrid = experiment.KindHybrid
 	ExperimentChaos  = experiment.KindChaos
 	ExperimentImpair = experiment.KindImpair
+	ExperimentChurn  = experiment.KindChurn
 )
 
 // Link impairments: the netem vocabulary (correlated and
